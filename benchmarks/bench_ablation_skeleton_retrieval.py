@@ -1,0 +1,15 @@
+"""Design-choice ablation: retrieval precision with vs without skeletonization.
+
+This isolates the retrieval component (DESIGN.md §5.1): how often the nearest
+example demonstrates the same repair strategy as the query's ground truth.
+"""
+
+from repro.evaluation.ablation import skeleton_noise_ablation
+
+
+def test_skeleton_retrieval_precision(benchmark, context):
+    precision = benchmark.pedantic(lambda: skeleton_noise_ablation(context),
+                                   rounds=1, iterations=1)
+    print(f"\nretrieval precision: skeleton={precision['skeleton']:.2f} raw={precision['raw']:.2f}")
+    assert precision["skeleton"] >= precision["raw"]
+    assert precision["skeleton"] >= 0.5

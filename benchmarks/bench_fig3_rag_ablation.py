@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (no RAG vs raw RAG vs skeleton RAG)."""
+
+from conftest import emit
+from repro.evaluation.ablation import rag_ablation
+from repro.evaluation.experiments import figure3_rag
+
+
+def test_figure3_rag_ablation(benchmark, context):
+    result = benchmark.pedantic(lambda: rag_ablation(context), rounds=1, iterations=1)
+    emit(figure3_rag(context))
+    rates = {arm.label: arm.measured.rate for arm in result.arms}
+    # The paper's ordering: inherent capability < RAG, and skeletons give the best rate.
+    assert rates["no-rag"] < rates["rag-skeleton"]
+    assert rates["rag-raw-text"] <= rates["rag-skeleton"] + 1e-9

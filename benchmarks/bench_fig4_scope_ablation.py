@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4 (fix scope and feedback ablation)."""
+
+from conftest import emit
+from repro.evaluation.ablation import scope_ablation
+from repro.evaluation.experiments import figure4_scope
+
+
+def test_figure4_scope_ablation(benchmark, context):
+    result = benchmark.pedantic(lambda: scope_ablation(context), rounds=1, iterations=1)
+    emit(figure4_scope(context))
+    rates = {arm.label: arm.measured.rate for arm in result.arms}
+    # File-only is the weakest arm; the production ordering wins.
+    assert rates["file-only"] <= min(rates["function-only"], rates["function-file-feedback"])
+    assert rates["function-file-feedback"] == max(rates.values())

@@ -1,0 +1,43 @@
+"""Micro-benchmarks of the substrate components (throughput, not tables).
+
+These quantify the cost of the pieces the pipeline calls in its inner loop:
+race detection runs, skeletonization, embedding, and retrieval.
+"""
+
+from repro.core.database import ExampleDatabase
+from repro.core.skeleton import Skeletonizer
+from repro.embedding.embedder import CodeEmbedder
+from repro.runtime.harness import run_package_tests
+
+
+def test_bench_race_detection_run(benchmark, context):
+    case = context.dataset.evaluation[0]
+    result = benchmark(lambda: run_package_tests(case.package, runs=4))
+    assert result.built
+
+
+def test_bench_skeletonization(benchmark, context):
+    case = next(c for c in context.dataset.evaluation if c.expected_unfixed_reason is None)
+    skeletonizer = Skeletonizer()
+    skeleton = benchmark(
+        lambda: skeletonizer.skeletonize_source(
+            case.racy_source(), racy_variables=[case.racy_variable]
+        ).text
+    )
+    assert "racyVar" in skeleton or "func1" in skeleton
+
+
+def test_bench_embedding(benchmark, context):
+    case = context.dataset.evaluation[0]
+    embedder = CodeEmbedder(context.base_config.embedder)
+    vector = benchmark(lambda: embedder.embed(case.racy_source()))
+    assert vector.shape[0] == context.base_config.embedder.dimensions
+
+
+def test_bench_retrieval(benchmark, context):
+    case = next(c for c in context.dataset.evaluation if c.expected_unfixed_reason is None)
+    database: ExampleDatabase = context.skeleton_database
+    result = benchmark(
+        lambda: database.query_code(case.racy_source(), racy_variable=case.racy_variable)
+    )
+    assert result is not None

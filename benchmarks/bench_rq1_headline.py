@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the RQ1 deployment headline (fix + acceptance rates)."""
+
+from conftest import emit
+from repro.evaluation.experiments import rq1_headline
+
+
+def test_rq1_headline(benchmark, context):
+    table = benchmark.pedantic(lambda: rq1_headline(context), rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: row[1] for row in table.rows}
+    fix_rate = float(rows["Fix rate"].rstrip("%"))
+    acceptance = float(rows["Acceptance rate"].rstrip("%"))
+    # Paper: 55% fixed, 86% accepted. The shape: a majority fixed, most accepted.
+    assert 40.0 <= fix_rate <= 85.0
+    assert acceptance >= 70.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the RQ2 LCA-location ablation."""
+
+from conftest import emit
+from repro.evaluation.ablation import location_ablation
+from repro.evaluation.experiments import rq2_lca
+
+
+def test_rq2_lca_ablation(benchmark, context):
+    result = benchmark.pedantic(lambda: location_ablation(context), rounds=1, iterations=1)
+    emit(rq2_lca(context))
+    rates = {arm.label: arm.measured.rate for arm in result.arms}
+    assert rates["without-lca"] <= rates["with-lca"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the RQ3 model comparison (GPT-4o vs o1-preview)."""
+
+from conftest import emit
+from repro.evaluation.ablation import model_ablation
+from repro.evaluation.experiments import rq3_models
+
+
+def test_rq3_model_comparison(benchmark, context):
+    result = benchmark.pedantic(lambda: model_ablation(context), rounds=1, iterations=1)
+    emit(rq3_models(context))
+    rates = {arm.label: arm.measured.rate for arm in result.arms}
+    assert rates["o1-preview"] >= rates["gpt-4o"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (corpus characteristics)."""
+
+from conftest import emit
+from repro.evaluation.experiments import table1_codebase
+
+
+def test_table1_codebase(benchmark, context):
+    table = benchmark.pedantic(lambda: table1_codebase(context), rounds=1, iterations=1)
+    emit(table)
+    metrics = {row[0] for row in table.rows}
+    assert {"Files", "Lines of code"} <= metrics
+    files_row = next(row for row in table.rows if row[0] == "Files")
+    assert int(files_row[1]) == int(files_row[2]) + int(files_row[3])

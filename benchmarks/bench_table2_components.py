@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 2 (component choices and substitutes)."""
+
+from conftest import emit
+from repro.evaluation.experiments import table2_components
+
+
+def test_table2_components(benchmark, context):
+    table = benchmark.pedantic(lambda: table2_components(context.base_config),
+                               rounds=1, iterations=1)
+    emit(table)
+    components = {row[0] for row in table.rows}
+    assert {"Data store D", "Skeletonization S", "Embedding E", "Model M", "Validator V"} <= components

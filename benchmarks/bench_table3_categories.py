@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 3 (race categories of fixes and DB examples)."""
+
+from conftest import emit
+from repro.evaluation.experiments import table3_categories
+
+
+def test_table3_categories(benchmark, context):
+    table = benchmark.pedantic(lambda: table3_categories(context), rounds=1, iterations=1)
+    emit(table)
+    assert len(table.rows) == 7
+    # Capture-by-reference is the dominant category, as in the paper.
+    fixes = {row[0]: int(row[1]) for row in table.rows}
+    assert fixes["Capture-by-reference in goroutines"] == max(fixes.values())

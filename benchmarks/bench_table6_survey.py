@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 6 (developer survey)."""
+
+from conftest import emit
+from repro.evaluation.experiments import table6_survey
+
+
+def test_table6_survey(benchmark, context):
+    table = benchmark.pedantic(lambda: table6_survey(context), rounds=1, iterations=1)
+    emit(table)
+    quality_row = next(row for row in table.rows if row[0].startswith("Quality"))
+    measured = float(quality_row[1].split("±")[0])
+    assert 1.0 <= measured <= 5.0

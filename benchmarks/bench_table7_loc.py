@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 7 (LoC percentiles, human vs Dr.Fix)."""
+
+from conftest import emit
+from repro.evaluation.experiments import table7_loc
+
+
+def test_table7_loc(benchmark, context):
+    table = benchmark.pedantic(lambda: table7_loc(context), rounds=1, iterations=1)
+    emit(table)
+    drfix = [float(row[2]) for row in table.rows]
+    human = [float(row[1]) for row in table.rows]
+    assert drfix == sorted(drfix) and human == sorted(human)
+    # As in the paper, Dr.Fix's largest fixes stay within the human distribution's tail.
+    assert drfix[-1] <= 3 * human[-1] + 10

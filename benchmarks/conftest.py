@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  They share a
+single :class:`~repro.evaluation.runner.ExperimentContext` (one corpus, one
+pair of example databases, cached per-arm pipeline runs) so the whole suite
+runs in minutes; raise ``DRFIX_BENCH_SCALE`` for a bigger corpus when more
+statistical resolution is wanted (the EXPERIMENTS.md numbers use the default).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import DrFixConfig  # noqa: E402
+from repro.corpus.generator import CorpusConfig  # noqa: E402
+from repro.evaluation.runner import ExperimentContext  # noqa: E402
+
+
+def _bench_scale() -> float:
+    try:
+        return float(os.environ.get("DRFIX_BENCH_SCALE", "0.45"))
+    except ValueError:  # pragma: no cover - defensive
+        return 0.45
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """One shared experiment context for all table/figure benchmarks."""
+    corpus_config = CorpusConfig(seed=2025).scaled(_bench_scale())
+    return ExperimentContext(
+        corpus_config=corpus_config,
+        base_config=DrFixConfig(model="gpt-4o"),
+    )
+
+
+def emit(table) -> None:
+    """Print a regenerated table so it lands in the benchmark log."""
+    print()
+    print(table.render())

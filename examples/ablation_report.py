@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables/figures on a small corpus.
+
+This drives the same harness the benchmarks use, at a reduced corpus scale so
+it finishes in about a minute, and prints every table with the paper's value
+next to the measured one.  Use ``drfix evaluate --scale 1.0`` (or the
+benchmarks) for the full-scale run recorded in EXPERIMENTS.md.
+
+Run with::
+
+    python examples/ablation_report.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.corpus.generator import CorpusConfig
+from repro.evaluation.experiments import all_experiment_tables
+from repro.evaluation.reporting import render_report
+from repro.evaluation.runner import ExperimentContext
+
+
+def main() -> None:
+    start = time.time()
+    context = ExperimentContext(
+        corpus_config=CorpusConfig(db_examples=20, eval_fixable=22, eval_unfixable=10, seed=2025),
+    )
+    tables = all_experiment_tables(context)
+    print(render_report(tables))
+    print(f"regenerated {len(tables)} tables/figures in {time.time() - start:.0f}s "
+          f"over {len(context.dataset.evaluation)} evaluation races")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Fixing a race whose root cause is in the test, not in the code under test.
+
+The paper's "parallel test suite" category (13% of fixes, Listing 7): table-
+driven subtests run with ``t.Parallel()`` while sharing a single mutable
+fixture.  The racing source lines live in the code under test, but the right
+fix privatizes the fixture in the *test* — which is why Dr.Fix tries the test
+function as a fix location before the leaf functions.
+
+Run with::
+
+    python examples/parallel_test_suite.py
+"""
+
+from __future__ import annotations
+
+from repro.core import DrFix, DrFixConfig, ExampleDatabase
+from repro.core.categories import RaceCategory
+from repro.corpus.generator import generate_cases
+
+
+def main() -> None:
+    config = DrFixConfig(model="gpt-4o")
+    db_cases = generate_cases([RaceCategory.PARALLEL_TEST_SUITE], 2, seed=91)
+    database = ExampleDatabase.from_cases(db_cases, config)
+
+    case = generate_cases([RaceCategory.PARALLEL_TEST_SUITE], 1, seed=777)[0]
+    report = case.race_report(runs=12)
+
+    print("== the racy test file ==")
+    print(case.racy_source())
+    print("== the race report (racing lines are in the code under test) ==")
+    print(report.render())
+
+    outcome = DrFix(case.package, config=config, database=database).fix_case(case)
+    print("\n== Dr.Fix outcome ==")
+    print(f"fixed: {outcome.fixed}")
+    print(f"strategy: {outcome.strategy}")
+    print(f"fix location: {outcome.location} (scope: {outcome.scope})")
+    assert outcome.location == "test", "the fix should land in the test function"
+    print("\n== patch ==")
+    print(outcome.patch.diff(case.package))
+
+
+if __name__ == "__main__":
+    main()

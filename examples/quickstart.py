@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: detect and automatically fix the paper's Listing 1 data race.
+
+The example builds a tiny Go package containing the classic
+"``err`` captured by reference in a goroutine" race, runs the race detector
+(the ``go test -race`` substitute), hands the report to the Dr.Fix pipeline,
+and prints the validated patch.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import DrFix, DrFixConfig
+from repro.runtime.harness import GoFile, GoPackage, run_package_tests
+
+SERVICE = """
+package billing
+
+import "sync"
+
+func validate() error { return nil }
+func loadInvoice(n int) error { return nil }
+func publishLedger(n int) error { return nil }
+
+func SettleInvoice(n int) error {
+	err := validate()
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err = loadInvoice(n); err != nil {
+			return
+		}
+	}()
+	if err = publishLedger(n); err != nil {
+		return err
+	}
+	wg.Wait()
+	return err
+}
+"""
+
+SERVICE_TEST = """
+package billing
+
+import "testing"
+
+func TestSettleInvoice(t *testing.T) {
+	if err := SettleInvoice(7); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+"""
+
+
+def main() -> None:
+    package = GoPackage(
+        name="billing",
+        files=[GoFile("settle.go", SERVICE), GoFile("settle_test.go", SERVICE_TEST)],
+    )
+
+    print("== 1. detect the race (go test -race substitute) ==")
+    detection = run_package_tests(package, runs=12)
+    print(detection.summary())
+    report = detection.reports[0]
+    print(report.render())
+    print(f"stable bug hash: {report.bug_hash()}\n")
+
+    print("== 2. run the Dr.Fix pipeline ==")
+    config = DrFixConfig(model="gpt-4o")
+    pipeline = DrFix(package, config=config)  # no example database: inherent capability only
+    outcome = pipeline.fix_report(report, baseline_hashes=detection.race_hashes())
+    print(f"fixed: {outcome.fixed}  strategy: {outcome.strategy}  "
+          f"location: {outcome.location}/{outcome.scope}  "
+          f"attempts: {len(outcome.attempts)}\n")
+
+    print("== 3. the validated patch ==")
+    print(outcome.patch.diff(package))
+
+    print("\n== 4. re-validate the patched package ==")
+    revalidation = run_package_tests(outcome.patch.package, runs=12)
+    print(revalidation.summary())
+
+
+if __name__ == "__main__":
+    main()

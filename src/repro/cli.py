@@ -1,0 +1,166 @@
+"""Command-line interface for the Dr.Fix reproduction.
+
+Subcommands:
+
+* ``drfix corpus``     — generate the synthetic corpus and print its statistics;
+* ``drfix detect``     — run the race detector over a directory of ``.go`` files;
+* ``drfix fix``        — run the full pipeline on a directory of ``.go`` files;
+* ``drfix evaluate``   — regenerate every table and figure of the paper;
+* ``drfix report``     — same as ``evaluate`` but writes a Markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import DrFixConfig
+from repro.core.database import ExampleDatabase
+from repro.core.pipeline import DrFix
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.evaluation.experiments import all_experiment_tables
+from repro.evaluation.reporting import render_report
+from repro.evaluation.runner import ExperimentContext
+from repro.runtime.harness import GoFile, GoPackage, run_package_tests
+
+
+def _load_package(directory: str) -> GoPackage:
+    root = Path(directory)
+    files: List[GoFile] = []
+    for path in sorted(root.rglob("*.go")):
+        files.append(GoFile(name=str(path.relative_to(root)), source=path.read_text()))
+    if not files:
+        raise SystemExit(f"no .go files found under {directory}")
+    return GoPackage(name=root.name, files=files)
+
+
+def _corpus_config(args: argparse.Namespace) -> CorpusConfig:
+    return CorpusConfig().scaled(args.scale)
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    dataset = CorpusGenerator(_corpus_config(args)).generate()
+    stats = dataset.statistics()
+    print(f"vector-database examples: {len(dataset.db_examples)}")
+    print(f"evaluation cases:         {len(dataset.evaluation)} "
+          f"({len(dataset.fixable_eval_cases())} fixable, "
+          f"{len(dataset.unfixable_eval_cases())} unfixable by design)")
+    print(f"files: {stats.files} ({stats.product_files} product, {stats.test_files} test)")
+    print(f"lines of Go: {stats.lines} ({stats.concurrency_lines} in files using concurrency)")
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        for case in dataset.all_cases():
+            case_dir = out / case.case_id
+            case_dir.mkdir(parents=True, exist_ok=True)
+            for file in case.package.files:
+                target = case_dir / file.name
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(file.source)
+        print(f"wrote corpus packages to {out}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    package = _load_package(args.path)
+    result = run_package_tests(package, runs=args.runs)
+    print(result.summary())
+    for report in result.reports:
+        print()
+        print(report.render())
+        print(f"stable bug hash: {report.bug_hash()}")
+    return 0 if result.passed else 1
+
+
+def cmd_fix(args: argparse.Namespace) -> int:
+    package = _load_package(args.path)
+    config = DrFixConfig(model=args.model)
+    detection = run_package_tests(package, runs=args.runs)
+    if not detection.reports:
+        print("no data race detected; nothing to fix")
+        return 0
+    database: Optional[ExampleDatabase] = None
+    if not args.no_rag:
+        corpus = CorpusGenerator(CorpusConfig().scaled(args.scale)).generate()
+        database = ExampleDatabase.from_cases(corpus.db_examples, config)
+    pipeline = DrFix(package, config=config, database=database)
+    exit_code = 1
+    for report in detection.reports:
+        print(f"== fixing race {report.bug_hash()} on `{report.variable}` ==")
+        outcome = pipeline.fix_report(report, baseline_hashes=detection.race_hashes())
+        if outcome.fixed and outcome.patch is not None:
+            exit_code = 0
+            print(f"fixed via {outcome.strategy} at {outcome.location}/{outcome.scope} "
+                  f"({outcome.lines_changed} lines changed)")
+            print(outcome.patch.diff(package))
+            if args.write:
+                root = Path(args.path)
+                for name in outcome.patch.changed_files:
+                    (root / name).write_text(outcome.patch.package.file(name).source)
+                print("patched files written in place")
+        else:
+            print(f"no validated fix: {outcome.failure_reason}")
+    return exit_code
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    context = ExperimentContext(
+        corpus_config=_corpus_config(args),
+        base_config=DrFixConfig(model=args.model),
+    )
+    tables = all_experiment_tables(context)
+    report = render_report(tables)
+    print(report)
+    if args.output:
+        markdown = "\n\n".join(table.render_markdown() for table in tables)
+        Path(args.output).write_text(markdown)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="drfix",
+        description="Reproduction of Dr.Fix: Automatically Fixing Data Races at Industry Scale",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    corpus = sub.add_parser("corpus", help="generate the synthetic corpus")
+    corpus.add_argument("--scale", type=float, default=0.25,
+                        help="fraction of the full corpus size (default 0.25)")
+    corpus.add_argument("--output", help="directory to write the corpus packages to")
+    corpus.set_defaults(func=cmd_corpus)
+
+    detect = sub.add_parser("detect", help="run the race detector over a directory of .go files")
+    detect.add_argument("path")
+    detect.add_argument("--runs", type=int, default=12)
+    detect.set_defaults(func=cmd_detect)
+
+    fix = sub.add_parser("fix", help="run the Dr.Fix pipeline over a directory of .go files")
+    fix.add_argument("path")
+    fix.add_argument("--model", default="gpt-4o", help="model profile to use")
+    fix.add_argument("--runs", type=int, default=12, help="detection runs")
+    fix.add_argument("--scale", type=float, default=0.25, help="example-database scale")
+    fix.add_argument("--no-rag", action="store_true", help="disable retrieval-augmented generation")
+    fix.add_argument("--write", action="store_true", help="write validated patches in place")
+    fix.set_defaults(func=cmd_fix)
+
+    evaluate = sub.add_parser("evaluate", help="regenerate every table and figure of the paper")
+    evaluate.add_argument("--scale", type=float, default=0.25)
+    evaluate.add_argument("--model", default="gpt-4o")
+    evaluate.add_argument("--output", help="write a Markdown report to this path")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

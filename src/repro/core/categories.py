@@ -1,0 +1,145 @@
+"""Race-category taxonomy used throughout the evaluation.
+
+The categories follow Table 3 (categories of races *fixed* by Dr.Fix and of
+the examples in the vector database) and Table 5 (categories of races Dr.Fix
+could *not* fix).  The corpus generator labels every synthetic race with a
+:class:`RaceCategory`, and the evaluation harness aggregates results by it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class RaceCategory(enum.Enum):
+    """Categories of data races (Table 3 of the paper)."""
+
+    CAPTURE_BY_REFERENCE = "capture-by-reference"
+    MISSING_SYNCHRONIZATION = "missing-synchronization"
+    PARALLEL_TEST_SUITE = "parallel-test-suite"
+    LOOP_VARIABLE_CAPTURE = "loop-variable-capture"
+    CONCURRENT_MAP_ACCESS = "concurrent-map-access"
+    CONCURRENT_SLICE_ACCESS = "concurrent-slice-access"
+    OTHERS = "others"
+
+    @property
+    def display_name(self) -> str:
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES: Dict[RaceCategory, str] = {
+    RaceCategory.CAPTURE_BY_REFERENCE: "Capture-by-reference in goroutines",
+    RaceCategory.MISSING_SYNCHRONIZATION: "Missing/incorrect synchronization",
+    RaceCategory.PARALLEL_TEST_SUITE: "Parallel test suite",
+    RaceCategory.LOOP_VARIABLE_CAPTURE: "Capture of loop variable",
+    RaceCategory.CONCURRENT_MAP_ACCESS: "Concurrent map access",
+    RaceCategory.CONCURRENT_SLICE_ACCESS: "Concurrent slice access",
+    RaceCategory.OTHERS: "Others",
+}
+
+
+#: Frequencies of Dr.Fix-produced fixes by category (Table 3, "Dr.Fix fixes").
+PAPER_FIX_FREQUENCIES: Dict[RaceCategory, float] = {
+    RaceCategory.CAPTURE_BY_REFERENCE: 0.41,
+    RaceCategory.MISSING_SYNCHRONIZATION: 0.26,
+    RaceCategory.PARALLEL_TEST_SUITE: 0.13,
+    RaceCategory.LOOP_VARIABLE_CAPTURE: 0.06,
+    RaceCategory.CONCURRENT_MAP_ACCESS: 0.05,
+    RaceCategory.CONCURRENT_SLICE_ACCESS: 0.05,
+    RaceCategory.OTHERS: 0.04,
+}
+
+#: Frequencies of the curated examples in the vector database (Table 3, "VectorDB").
+PAPER_VECTORDB_FREQUENCIES: Dict[RaceCategory, float] = {
+    RaceCategory.CAPTURE_BY_REFERENCE: 0.375,
+    RaceCategory.MISSING_SYNCHRONIZATION: 0.147,
+    RaceCategory.PARALLEL_TEST_SUITE: 0.118,
+    RaceCategory.LOOP_VARIABLE_CAPTURE: 0.0257,
+    RaceCategory.CONCURRENT_MAP_ACCESS: 0.0515,
+    RaceCategory.CONCURRENT_SLICE_ACCESS: 0.0257,
+    RaceCategory.OTHERS: 0.257,
+}
+
+
+class UnfixedReason(enum.Enum):
+    """Why a race was not fixed (Table 5 of the paper)."""
+
+    MULTI_FILE = "more-than-2-file-changes"
+    CHANGE_PARALLELISM = "change-reduce-remove-parallelism"
+    BUSINESS_LOGIC = "change-business-logic"
+    ISOLATE_TEST = "unable-to-isolate-failing-test"
+    EXTERNAL = "external"
+    LARGE_REFACTORING = "large-code-refactoring"
+    OTHERS = "others"
+    DEEP_COPY = "using-deep-copy"
+    SINGLETON = "singleton-pattern"
+    NONTRIVIAL = "non-trivial-even-for-experts"
+
+    @property
+    def display_name(self) -> str:
+        return _UNFIXED_DISPLAY[self]
+
+
+_UNFIXED_DISPLAY: Dict[UnfixedReason, str] = {
+    UnfixedReason.MULTI_FILE: "More than 2 File Changes",
+    UnfixedReason.CHANGE_PARALLELISM: "Change/Reduce/Remove Parallelism",
+    UnfixedReason.BUSINESS_LOGIC: "Change the Business Logic",
+    UnfixedReason.ISOLATE_TEST: "Unable to Isolate the Failing Test",
+    UnfixedReason.EXTERNAL: "External",
+    UnfixedReason.LARGE_REFACTORING: "Large Code Refactoring",
+    UnfixedReason.OTHERS: "Others",
+    UnfixedReason.DEEP_COPY: "Using Deep Copy",
+    UnfixedReason.SINGLETON: "Singleton Pattern",
+    UnfixedReason.NONTRIVIAL: "Non-trivial Even for Experts",
+}
+
+#: Table 5 frequencies (fractions of the 138 unfixed races).
+PAPER_UNFIXED_FREQUENCIES: Dict[UnfixedReason, float] = {
+    UnfixedReason.MULTI_FILE: 0.21,
+    UnfixedReason.CHANGE_PARALLELISM: 0.19,
+    UnfixedReason.BUSINESS_LOGIC: 0.15,
+    UnfixedReason.ISOLATE_TEST: 0.10,
+    UnfixedReason.EXTERNAL: 0.10,
+    UnfixedReason.LARGE_REFACTORING: 0.06,
+    UnfixedReason.OTHERS: 0.06,
+    UnfixedReason.DEEP_COPY: 0.05,
+    UnfixedReason.SINGLETON: 0.04,
+    UnfixedReason.NONTRIVIAL: 0.04,
+}
+
+
+def all_categories() -> List[RaceCategory]:
+    """Categories in the display order used by Table 3."""
+    return [
+        RaceCategory.CAPTURE_BY_REFERENCE,
+        RaceCategory.MISSING_SYNCHRONIZATION,
+        RaceCategory.PARALLEL_TEST_SUITE,
+        RaceCategory.LOOP_VARIABLE_CAPTURE,
+        RaceCategory.CONCURRENT_MAP_ACCESS,
+        RaceCategory.CONCURRENT_SLICE_ACCESS,
+        RaceCategory.OTHERS,
+    ]
+
+
+@dataclass
+class CategoryDistribution:
+    """A category histogram with convenience accessors used in reports."""
+
+    counts: Dict[RaceCategory, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, category: RaceCategory) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(category, 0) / self.total
+
+    def as_rows(self) -> List[tuple[str, int, float]]:
+        return [
+            (category.display_name, self.counts.get(category, 0), self.fraction(category))
+            for category in all_categories()
+        ]

@@ -1,0 +1,165 @@
+"""The example database: skeletonize → embed → store → retrieve (Sections 3.1, 4.1).
+
+Each entry binds the embedding of a buggy example's *concurrency skeleton* to
+the (racy code, fixed code) pair.  Queries embed the new racy code item the
+same way and retrieve the nearest example by cosine similarity.  A raw-text
+mode (no skeletonization) is provided for the Figure 3 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.config import DrFixConfig
+from repro.core.race_info import CodeItem
+from repro.core.skeleton import Skeletonizer
+from repro.embedding.embedder import CodeEmbedder
+from repro.embedding.vector_store import QueryResult, VectorStore
+
+
+@dataclass
+class ExampleEntry:
+    """One curated example: a previously fixed data race."""
+
+    example_id: str
+    buggy_code: str
+    fixed_code: str
+    skeleton: str = ""
+    category: str = ""
+    strategy: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def as_pair(self) -> tuple[str, str]:
+        return self.buggy_code, self.fixed_code
+
+
+class ExampleDatabase:
+    """Vector database of previously fixed races."""
+
+    def __init__(self, config: Optional[DrFixConfig] = None):
+        self.config = (config or DrFixConfig()).validated()
+        self.embedder = CodeEmbedder(self.config.embedder)
+        self.skeletonizer = Skeletonizer()
+        self.store = VectorStore(dimensions=self.embedder.dimensions)
+        self._entries: dict[str, ExampleEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[ExampleEntry]:
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+
+    def add_example(self, entry: ExampleEntry, racy_variable: str = "") -> ExampleEntry:
+        """Skeletonize, embed, and store one example."""
+        if not entry.skeleton:
+            entry.skeleton = self.skeletonizer.skeletonize_source(
+                entry.buggy_code, racy_variables=[racy_variable] if racy_variable else ()
+            ).text
+        key_text = entry.skeleton if self.config.use_skeleton else entry.buggy_code
+        vector = self.embedder.embed(key_text)
+        self.store.add(
+            item_id=entry.example_id,
+            vector=vector,
+            document=key_text,
+            metadata={"category": entry.category, "strategy": entry.strategy},
+        )
+        self._entries[entry.example_id] = entry
+        return entry
+
+    def add_examples(self, entries: Iterable[ExampleEntry]) -> None:
+        for entry in entries:
+            self.add_example(entry)
+
+    @classmethod
+    def from_cases(cls, cases: Sequence["RaceCase"], config: Optional[DrFixConfig] = None
+                   ) -> "ExampleDatabase":
+        """Build a database from corpus cases (the curated fixed examples)."""
+        database = cls(config)
+        for case in cases:
+            entry = ExampleEntry(
+                example_id=case.case_id,
+                buggy_code=case.racy_source(),
+                fixed_code=case.fixed_source(),
+                category=case.category.value,
+                strategy=case.fix_strategy,
+            )
+            database.add_example(entry, racy_variable=case.racy_variable)
+        return database
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def query_code(self, code: str, racy_variable: str = "",
+                   racy_lines: Sequence[int] = ()) -> Optional[QueryResult]:
+        """Retrieve the nearest example for a racy code item."""
+        if not code.strip() or len(self.store) == 0:
+            return None
+        if self.config.use_skeleton:
+            key_text = self.skeletonizer.skeletonize_source(
+                code,
+                racy_lines=racy_lines,
+                racy_variables=[racy_variable] if racy_variable else (),
+            ).text
+        else:
+            key_text = code
+        vector = self.embedder.embed(key_text)
+        results = self.store.query(vector, k=1)
+        return results[0] if results else None
+
+    def best_example(self, item: CodeItem) -> Optional[ExampleEntry]:
+        """The nearest example for a pipeline code item (or None)."""
+        result = self.query_code(
+            item.code, racy_variable=item.racy_variable, racy_lines=item.racy_lines
+        )
+        if result is None:
+            return None
+        return self._entries.get(result.item_id)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        import json
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.store.save(directory / "vectors.json")
+        payload = [
+            {
+                "id": entry.example_id,
+                "buggy": entry.buggy_code,
+                "fixed": entry.fixed_code,
+                "skeleton": entry.skeleton,
+                "category": entry.category,
+                "strategy": entry.strategy,
+            }
+            for entry in self._entries.values()
+        ]
+        (directory / "examples.json").write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, directory: str | Path, config: Optional[DrFixConfig] = None) -> "ExampleDatabase":
+        import json
+
+        directory = Path(directory)
+        database = cls(config)
+        database.store = VectorStore.load(directory / "vectors.json")
+        payload = json.loads((directory / "examples.json").read_text())
+        for item in payload:
+            database._entries[item["id"]] = ExampleEntry(
+                example_id=item["id"],
+                buggy_code=item["buggy"],
+                fixed_code=item["fixed"],
+                skeleton=item.get("skeleton", ""),
+                category=item.get("category", ""),
+                strategy=item.get("strategy", ""),
+            )
+        return database

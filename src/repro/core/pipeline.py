@@ -1,0 +1,212 @@
+"""The Dr.Fix orchestrator — Listing 13 of the paper.
+
+For a new race report the pipeline iterates over candidate fix locations
+(test, leaf, LCA), scopes (function, file), and examples (retrieved + empty),
+generating a candidate fix for each and validating it by rebuilding and
+re-running the package tests under the race detector.  The first validated fix
+wins; if every combination fails, a final retry at file scope feeds the
+accumulated failure messages back to the model (Section 4.4.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import DrFixConfig, FixLocation, FixScope
+from repro.core.database import ExampleDatabase
+from repro.core.fix_generator import FixGenerator, GeneratedFix
+from repro.core.patcher import Patch, Patcher
+from repro.core.race_info import CodeItem, RaceInfo, RaceInfoExtractor
+from repro.core.validator import FixValidator, ValidationResult
+from repro.errors import PatchError
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (corpus imports core)
+    from repro.corpus.ground_truth import RaceCase
+from repro.llm.base import LLMClient
+from repro.runtime.harness import GoPackage
+from repro.runtime.race_report import RaceReport
+
+
+@dataclass
+class FixAttempt:
+    """Bookkeeping for one (location, scope, example, retry) attempt."""
+
+    location: str
+    scope: str
+    file_name: str
+    example_id: str = ""
+    strategy: str = ""
+    used_feedback: bool = False
+    patched: bool = False
+    validated: bool = False
+    failure: str = ""
+
+
+@dataclass
+class FixOutcome:
+    """Final result of running Dr.Fix on one race."""
+
+    bug_hash: str
+    fixed: bool = False
+    patch: Optional[Patch] = None
+    strategy: str = ""
+    location: str = ""
+    scope: str = ""
+    guided_by_example: bool = False
+    example_id: str = ""
+    lines_changed: int = 0
+    attempts: List[FixAttempt] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    failure_reason: str = ""
+    model_calls: int = 0
+    validations: int = 0
+
+    @property
+    def attempted(self) -> bool:
+        return bool(self.attempts)
+
+
+class DrFix:
+    """Automatically fix data races in one Go package."""
+
+    def __init__(
+        self,
+        package: GoPackage,
+        config: Optional[DrFixConfig] = None,
+        database: Optional[ExampleDatabase] = None,
+        client: Optional[LLMClient] = None,
+    ):
+        self.package = package
+        self.config = (config or DrFixConfig()).validated()
+        self.database = database
+        self.extractor = RaceInfoExtractor(package, self.config)
+        self.generator = FixGenerator(self.config, database=database, client=client)
+        self.validator = FixValidator(self.config)
+        self.patcher = Patcher(package, self.config)
+
+    # ------------------------------------------------------------------
+
+    def fix_report(self, report: RaceReport,
+                   baseline_hashes: Optional[List[str]] = None) -> FixOutcome:
+        """Produce (or fail to produce) a validated patch for one race report."""
+        start = time.time()
+        info = self.extractor.extract(report)
+        outcome = FixOutcome(bug_hash=info.bug_hash)
+        self._baseline_hashes = list(baseline_hashes or [])
+        failure_log: List[str] = []
+
+        items = info.ordered_items(self.config)
+        if not items:
+            outcome.failure_reason = "no candidate fix locations could be extracted from the report"
+            outcome.duration_seconds = time.time() - start
+            return outcome
+
+        attempt_index = 0
+        for item in items:
+            examples = self.generator.candidate_examples(item)
+            for example in examples:
+                attempt_index += 1
+                validated = self._attempt(
+                    outcome, info, item, example, feedback="", salt=f"a{attempt_index}"
+                )
+                if validated:
+                    outcome.duration_seconds = time.time() - start
+                    outcome.model_calls = self.generator.model_calls
+                    outcome.validations = self.validator.validations
+                    return outcome
+                if outcome.attempts and outcome.attempts[-1].failure:
+                    failure_log.append(outcome.attempts[-1].failure)
+
+        if self.config.final_feedback_retry and failure_log:
+            feedback = " | ".join(dict.fromkeys(failure_log[-4:]))
+            retry_items = [i for i in items if i.scope is FixScope.FILE] or items
+            for item in retry_items:
+                examples = self.generator.candidate_examples(item)
+                for example in examples:
+                    attempt_index += 1
+                    validated = self._attempt(
+                        outcome, info, item, example, feedback=feedback,
+                        salt=f"retry{attempt_index}",
+                    )
+                    if validated:
+                        outcome.duration_seconds = time.time() - start
+                        outcome.model_calls = self.generator.model_calls
+                        outcome.validations = self.validator.validations
+                        return outcome
+
+        outcome.failure_reason = outcome.failure_reason or (
+            failure_log[-1] if failure_log else "no applicable fix was produced"
+        )
+        outcome.duration_seconds = time.time() - start
+        outcome.model_calls = self.generator.model_calls
+        outcome.validations = self.validator.validations
+        return outcome
+
+    def fix_case(self, case: "RaceCase") -> FixOutcome:
+        """Convenience entry point used by the evaluation: detect then fix."""
+        report = case.race_report(runs=self.config.detection_runs,
+                                  seed=self.config.validator_seed)
+        if report is None:
+            outcome = FixOutcome(bug_hash="")
+            outcome.failure_reason = "the race could not be reproduced by the detector"
+            return outcome
+        baseline = case.detect().race_hashes()
+        return self.fix_report(report, baseline_hashes=baseline)
+
+    # ------------------------------------------------------------------
+
+    def _attempt(self, outcome: FixOutcome, info: RaceInfo, item: CodeItem,
+                 example, feedback: str, salt: str) -> bool:
+        attempt = FixAttempt(
+            location=item.location.value,
+            scope=item.scope.value,
+            file_name=item.file_name,
+            example_id=example.example_id if example is not None else "",
+            used_feedback=bool(feedback),
+        )
+        outcome.attempts.append(attempt)
+        generated: GeneratedFix = self.generator.generate(
+            item, example, feedback=feedback, attempt_salt=salt
+        )
+        attempt.strategy = generated.response.strategy
+        if generated.is_noop:
+            attempt.failure = "; ".join(generated.response.notes) or "the model produced no change"
+            return False
+        try:
+            patch = self.patcher.apply(item, generated.code)
+        except PatchError as exc:
+            attempt.failure = str(exc)
+            return False
+        attempt.patched = True
+        validation: ValidationResult = self.validator.validate(
+            patch.package, info.bug_hash,
+            baseline_hashes=getattr(self, "_baseline_hashes", []),
+        )
+        if not validation.ok:
+            attempt.failure = validation.feedback()
+            return False
+        attempt.validated = True
+        outcome.fixed = True
+        outcome.patch = patch
+        outcome.strategy = generated.response.strategy
+        outcome.guided_by_example = generated.response.guided_by_example
+        outcome.example_id = attempt.example_id
+        outcome.location = item.location.value
+        outcome.scope = item.scope.value
+        outcome.lines_changed = patch.lines_changed(self.package)
+        return True
+
+
+def fix_package_race(
+    package: GoPackage,
+    report: RaceReport,
+    config: Optional[DrFixConfig] = None,
+    database: Optional[ExampleDatabase] = None,
+    client: Optional[LLMClient] = None,
+) -> FixOutcome:
+    """One-shot helper: run Dr.Fix for a single report."""
+    return DrFix(package, config=config, database=database, client=client).fix_report(report)

@@ -1,0 +1,90 @@
+"""Prompt construction (Appendix E format).
+
+The system prompt instructs the model to return the entire revised code with
+no markdown fences; the user prompt carries the retrieved example (if any),
+the race description, optional validation-failure feedback, and the code item
+wrapped in ``<code>`` tags.  The format is intentionally regular so that
+:mod:`repro.llm.prompt_parser` can recover the task exactly — and so that a
+real API-backed model could be dropped in unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.race_info import CodeItem
+from repro.llm.base import ChatMessage
+
+SYSTEM_PROMPT = (
+    "You are an expert in parallel computing and helping user fix data race in the "
+    "golang programs. The user will provide you code delimited by the <code> </code> "
+    "XML tag; you will try to fix the race. Your response should only contain the "
+    "fixed code. Pay strong attention to the following instructions:\n"
+    "(1) Do not skip any code by saying 'the rest of the code stays the same'.\n"
+    "(2) Your response should be the entire revised code top to bottom, verbatim. "
+    "Do not say any other thing.\n"
+    "(3) Do not wrap the code with ```go``` or ```<code>```.\n"
+    "(4) Absolutely, do not update or remove existing comments in the code."
+)
+
+
+def build_user_prompt(
+    item: CodeItem,
+    example: Optional[Tuple[str, str]] = None,
+    feedback: str = "",
+) -> str:
+    """Build the user prompt for one code item."""
+    scope_word = "file" if item.scope.value == "file" else "function"
+    parts: List[str] = []
+    example_count = 1 if example else 0
+    parts.append(
+        f"Refactor the code within <code> </code> XML tags to fix the data race in the "
+        f"golang {scope_word}. You will be given {example_count} example(s) that fix data "
+        f"race in golang functions."
+    )
+    if example:
+        buggy, fixed = example
+        parts.append(
+            "Example 0 (Code with data race):\n```go\n"
+            + buggy.rstrip("\n")
+            + "\n```\n"
+            + "Example 0 (Code after fixing data race):\n```go\n"
+            + fixed.rstrip("\n")
+            + "\n```"
+        )
+    description = _race_description(item)
+    parts.append(description)
+    if feedback:
+        parts.append("Previous attempt feedback:\n```\n" + feedback.strip() + "\n```")
+    parts.append("<code>\n" + item.code.rstrip("\n") + "\n</code>")
+    return "\n\n".join(parts)
+
+
+def _race_description(item: CodeItem) -> str:
+    lines = item.racy_lines or [0, 0]
+    first = lines[0]
+    second = lines[1] if len(lines) > 1 else lines[0]
+    variable = item.racy_variable or "the shared variable"
+    variable_text = f"`{item.racy_variable}`" if item.racy_variable else "a shared variable"
+    functions = ", ".join(item.racy_functions) if item.racy_functions else "unknown"
+    sentence = (
+        f"The data race happens due to a memory conflict on the shared variable "
+        f"{variable_text} read on line {first} with the same shared variable written on "
+        f"line {second}.\n"
+        f"The racing functions are: {functions}\n"
+        f"The code is from file `{item.file_name}`."
+    )
+    del variable
+    return sentence
+
+
+def build_messages(
+    item: CodeItem,
+    example: Optional[Tuple[str, str]] = None,
+    feedback: str = "",
+) -> List[ChatMessage]:
+    """The (system, user) chat messages for one fix attempt."""
+    return [
+        ChatMessage(role="system", content=SYSTEM_PROMPT),
+        ChatMessage(role="user", content=build_user_prompt(item, example, feedback)),
+    ]

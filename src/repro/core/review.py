@@ -1,0 +1,71 @@
+"""Developer-validation model (Section 4.5 / RQ1's acceptance rate).
+
+The paper's final gate is human code review: 86% of validated patches were
+approved; the rest were rejected for readability, for preferring a broader
+refactoring, or for being judged incorrect despite passing tests.  This module
+models that gate with a deterministic reviewer driven by observable patch
+properties, so RQ1/Table 7 can be regenerated end-to-end.  A real deployment
+would replace it with actual reviewers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (corpus imports core)
+    from repro.corpus.ground_truth import RaceCase
+
+
+@dataclass
+class ReviewDecision:
+    """Outcome of developer review for one proposed patch."""
+
+    accepted: bool
+    reason: str = ""
+    requires_refinement: bool = False
+
+
+def _draw(*parts: str) -> float:
+    digest = hashlib.blake2b("||".join(parts).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") / 2 ** 64
+
+
+@dataclass
+class ReviewerModel:
+    """A deterministic stand-in for the code-owner review step."""
+
+    #: Probability of accepting a patch that matches the ground-truth repair approach.
+    accept_matching: float = 0.97
+    #: Probability of accepting a validated patch that used a different approach.
+    accept_alternative: float = 0.78
+    #: Probability of accepting when the patch is much larger than the human fix.
+    accept_oversized: float = 0.55
+    #: Fraction of accepted patches that needed minor idiomatic refinement first.
+    refinement_rate: float = 0.04
+    salt: str = "reviewer"
+
+    def review(self, case: "RaceCase", strategy: str, lines_changed: int) -> ReviewDecision:
+        """Review one validated patch for ``case``."""
+        human_loc = max(1, case.human_fix_loc())
+        oversized = lines_changed > 3 * human_loc + 6
+        matches = strategy == case.fix_strategy
+        if oversized:
+            probability = self.accept_oversized
+            reject_reason = "prefers a smaller, more readable change"
+        elif matches:
+            probability = self.accept_matching
+            reject_reason = "prefers a broader manual refactoring"
+        else:
+            probability = self.accept_alternative
+            reject_reason = "solution judged incorrect or unidiomatic despite passing tests"
+        roll = _draw(self.salt, case.case_id, strategy, str(lines_changed))
+        if roll > probability:
+            return ReviewDecision(accepted=False, reason=reject_reason)
+        refinement = _draw(self.salt, case.case_id, "refine") < self.refinement_rate
+        return ReviewDecision(
+            accepted=True,
+            reason="approved by code owners",
+            requires_refinement=refinement,
+        )

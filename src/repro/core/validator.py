@@ -1,0 +1,92 @@
+"""Fix validation: build and repeatedly run package tests under the detector
+(Section 4.4.1).
+
+Validation succeeds when the package builds, every test passes, the targeted
+race (identified by its stable bug hash) no longer appears, and no new race is
+introduced.  On failure the validator produces the developer-readable feedback
+that Dr.Fix feeds back to the model on the retry (Section 4.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import DrFixConfig
+from repro.runtime.harness import GoPackage, PackageRunResult, run_package_tests
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one candidate patch."""
+
+    ok: bool
+    build_errors: List[str] = field(default_factory=list)
+    test_failures: List[str] = field(default_factory=list)
+    race_still_present: bool = False
+    new_race_hashes: List[str] = field(default_factory=list)
+    runs: int = 0
+    raw: Optional[PackageRunResult] = None
+
+    def feedback(self) -> str:
+        """A concise failure description for the next prompt."""
+        if self.ok:
+            return ""
+        parts: List[str] = []
+        if self.build_errors:
+            parts.append("build failed: " + "; ".join(self.build_errors[:2]))
+        if self.race_still_present:
+            parts.append("the data race is still reported by the race detector after the change")
+        if self.new_race_hashes:
+            parts.append(
+                f"the change introduced {len(self.new_race_hashes)} new data race(s)"
+            )
+        if self.test_failures:
+            parts.append("tests failed: " + "; ".join(self.test_failures[:2]))
+        return " | ".join(parts) if parts else "validation failed"
+
+
+class FixValidator:
+    """Run a patched package's tests many times under the race detector."""
+
+    def __init__(self, config: Optional[DrFixConfig] = None):
+        self.config = (config or DrFixConfig()).validated()
+        #: Number of validations performed (exposed for evaluation statistics).
+        self.validations = 0
+
+    def validate(self, package: GoPackage, bug_hash: str,
+                 baseline_hashes: Optional[List[str]] = None) -> ValidationResult:
+        """Validate ``package`` against the targeted ``bug_hash``.
+
+        ``baseline_hashes`` are races already present before the patch (other,
+        untargeted races in the same package do not fail validation — the
+        paper distinguishes the targeted race via the stable hash).
+        """
+        self.validations += 1
+        baseline = set(baseline_hashes or [])
+        baseline.add(bug_hash)
+        result = run_package_tests(
+            package,
+            runs=self.config.validator_runs,
+            seed=self.config.validator_seed,
+        )
+        if not result.built:
+            return ValidationResult(
+                ok=False, build_errors=list(result.build_errors), runs=result.runs, raw=result
+            )
+        observed = result.race_hashes()
+        race_still_present = bug_hash in observed
+        new_races = [h for h in observed if h not in baseline]
+        ok = (
+            not race_still_present
+            and not new_races
+            and not result.test_failures
+        )
+        return ValidationResult(
+            ok=ok,
+            test_failures=list(result.test_failures),
+            race_still_present=race_still_present,
+            new_race_hashes=new_races,
+            runs=result.runs,
+            raw=result,
+        )

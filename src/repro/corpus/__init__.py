@@ -1,0 +1,26 @@
+"""Synthetic racy-Go corpus: the stand-in for Uber's proprietary monorepo.
+
+The corpus generator produces :class:`~repro.corpus.ground_truth.RaceCase`
+objects — a racy Go package, its ground-truth (human) fix, the race category,
+and difficulty attributes — in the category mix of Table 3.  Cases are split
+into a *vector-database* set (the curated fixed examples of Section 4.1) and
+an *evaluation* set (the 403 reproducible races of RQ2), mirroring the paper's
+protocol of keeping the two disjoint.
+
+Business-logic noise (extra helper functions, domain-specific identifiers) is
+injected per seed so that raw-text retrieval degrades while skeleton-based
+retrieval does not — the property Figure 3 measures.
+"""
+
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.generator import CorpusGenerator, CorpusConfig
+from repro.corpus.dataset import Dataset, CorpusStatistics
+
+__all__ = [
+    "RaceCase",
+    "Difficulty",
+    "CorpusGenerator",
+    "CorpusConfig",
+    "Dataset",
+    "CorpusStatistics",
+]

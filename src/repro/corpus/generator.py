@@ -1,0 +1,153 @@
+"""Corpus generation: draw race cases in the paper's category mix.
+
+The generator produces two disjoint sets, mirroring the paper's protocol:
+
+* the **vector-database split** — fixed examples used to populate the example
+  database (272 in the paper, Table 3 "VectorDB" column mix);
+* the **evaluation split** — reproducible races the pipeline is evaluated on
+  (403 in the paper), containing both fixable cases (in the Table 3 "Dr.Fix
+  fixes" mix) and unfixable-by-design cases (Table 5 reasons).
+
+The corpus is fully deterministic in its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.categories import (
+    PAPER_FIX_FREQUENCIES,
+    PAPER_VECTORDB_FREQUENCIES,
+    RaceCategory,
+    all_categories,
+)
+from repro.corpus.ground_truth import RaceCase
+from repro.corpus.templates import TEMPLATE_REGISTRY, UNFIXABLE_TEMPLATES
+from repro.errors import CorpusError
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs of the corpus generator."""
+
+    seed: int = 2025
+    #: Number of examples in the vector-database split.
+    db_examples: int = 64
+    #: Number of fixable cases in the evaluation split.
+    eval_fixable: int = 72
+    #: Number of unfixable-by-design cases in the evaluation split.
+    eval_unfixable: int = 32
+    #: Business-logic noise level (0..3) injected into every case.
+    noise_level: int = 2
+    #: Category mix for the evaluation split (defaults to Table 3 "Dr.Fix fixes").
+    eval_mix: Dict[RaceCategory, float] = field(
+        default_factory=lambda: dict(PAPER_FIX_FREQUENCIES)
+    )
+    #: Category mix for the vector-database split (Table 3 "VectorDB").
+    db_mix: Dict[RaceCategory, float] = field(
+        default_factory=lambda: dict(PAPER_VECTORDB_FREQUENCIES)
+    )
+
+    def scaled(self, factor: float) -> "CorpusConfig":
+        """A proportionally smaller/larger corpus (used by benchmarks)."""
+        return CorpusConfig(
+            seed=self.seed,
+            db_examples=max(4, int(self.db_examples * factor)),
+            eval_fixable=max(4, int(self.eval_fixable * factor)),
+            eval_unfixable=max(2, int(self.eval_unfixable * factor)),
+            noise_level=self.noise_level,
+            eval_mix=dict(self.eval_mix),
+            db_mix=dict(self.db_mix),
+        )
+
+
+class CorpusGenerator:
+    """Deterministically generate race cases from the template registry."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None):
+        self.config = config if config is not None else CorpusConfig()
+        self._rng = random.Random(self.config.seed)
+        self._seed_counter = self.config.seed * 1000
+
+    # ------------------------------------------------------------------
+
+    def _next_seed(self) -> int:
+        self._seed_counter += 17
+        return self._seed_counter
+
+    def _allocate(self, total: int, mix: Dict[RaceCategory, float]) -> Dict[RaceCategory, int]:
+        """Largest-remainder allocation of ``total`` cases to categories."""
+        if total <= 0:
+            return {category: 0 for category in all_categories()}
+        weights = {category: mix.get(category, 0.0) for category in all_categories()}
+        weight_sum = sum(weights.values())
+        if weight_sum <= 0:
+            raise CorpusError("category mix has non-positive total weight")
+        raw = {category: total * weight / weight_sum for category, weight in weights.items()}
+        counts = {category: int(value) for category, value in raw.items()}
+        remainder = total - sum(counts.values())
+        by_fraction = sorted(raw.items(), key=lambda item: item[1] - int(item[1]), reverse=True)
+        for category, _ in by_fraction[:remainder]:
+            counts[category] += 1
+        return counts
+
+    def _make_category_cases(self, category: RaceCategory, count: int) -> List[RaceCase]:
+        templates = TEMPLATE_REGISTRY[category]
+        cases: List[RaceCase] = []
+        for index in range(count):
+            template = templates[index % len(templates)]
+            cases.append(template(self._next_seed(), self.config.noise_level))
+        return cases
+
+    # ------------------------------------------------------------------
+
+    def generate_db_split(self) -> List[RaceCase]:
+        """The curated fixed examples used to populate the vector database."""
+        allocation = self._allocate(self.config.db_examples, self.config.db_mix)
+        cases: List[RaceCase] = []
+        for category, count in allocation.items():
+            cases.extend(self._make_category_cases(category, count))
+        self._rng.shuffle(cases)
+        return cases
+
+    def generate_eval_split(self) -> List[RaceCase]:
+        """The reproducible races the pipeline is evaluated on."""
+        allocation = self._allocate(self.config.eval_fixable, self.config.eval_mix)
+        cases: List[RaceCase] = []
+        for category, count in allocation.items():
+            cases.extend(self._make_category_cases(category, count))
+        for index in range(self.config.eval_unfixable):
+            template = UNFIXABLE_TEMPLATES[index % len(UNFIXABLE_TEMPLATES)]
+            cases.append(template(self._next_seed(), self.config.noise_level))
+        self._rng.shuffle(cases)
+        return cases
+
+    def generate(self) -> "Dataset":
+        """Generate both splits as a :class:`~repro.corpus.dataset.Dataset`."""
+        from repro.corpus.dataset import Dataset
+
+        return Dataset(
+            db_examples=self.generate_db_split(),
+            evaluation=self.generate_eval_split(),
+            config=self.config,
+        )
+
+
+def generate_cases(
+    categories: Sequence[RaceCategory],
+    count_per_category: int = 1,
+    seed: int = 7,
+    noise_level: int = 1,
+) -> List[RaceCase]:
+    """Convenience helper used by tests and examples: a few cases per category."""
+    cases: List[RaceCase] = []
+    counter = seed
+    for category in categories:
+        templates = TEMPLATE_REGISTRY[category]
+        for index in range(count_per_category):
+            counter += 13
+            template = templates[index % len(templates)]
+            cases.append(template(counter, noise_level))
+    return cases

@@ -1,0 +1,81 @@
+"""Racy-program template families, one module per race category.
+
+Each template is a callable ``(seed, noise_level) -> RaceCase`` registered in
+:data:`TEMPLATE_REGISTRY`.  The registry groups templates by
+:class:`~repro.core.categories.RaceCategory` so the generator can draw cases
+in the Table 3 category mix, and by "fixable vs unfixable" so the evaluation
+set reproduces Table 5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import RaceCase
+
+TemplateFn = Callable[[int, int], RaceCase]
+
+from repro.corpus.templates import (  # noqa: E402  (import order is the registry order)
+    capture_by_ref,
+    concurrent_map,
+    concurrent_slice,
+    loop_var,
+    missing_sync,
+    others,
+    parallel_test,
+    unfixable,
+)
+
+#: Fixable templates grouped by category.
+TEMPLATE_REGISTRY: Dict[RaceCategory, List[TemplateFn]] = {
+    RaceCategory.CAPTURE_BY_REFERENCE: [
+        capture_by_ref.make_err_capture_case,
+        capture_by_ref.make_limit_capture_case,
+        capture_by_ref.make_data_capture_case,
+        capture_by_ref.make_ctx_select_err_case,
+    ],
+    RaceCategory.MISSING_SYNCHRONIZATION: [
+        missing_sync.make_waitgroup_add_case,
+        missing_sync.make_counter_case,
+        missing_sync.make_partial_locking_case,
+    ],
+    RaceCategory.PARALLEL_TEST_SUITE: [
+        parallel_test.make_shared_hash_case,
+        parallel_test.make_shared_fixture_case,
+    ],
+    RaceCategory.LOOP_VARIABLE_CAPTURE: [
+        loop_var.make_loop_var_case,
+    ],
+    RaceCategory.CONCURRENT_MAP_ACCESS: [
+        concurrent_map.make_shard_map_case,
+        concurrent_map.make_local_map_case,
+    ],
+    RaceCategory.CONCURRENT_SLICE_ACCESS: [
+        concurrent_slice.make_channel_slice_case,
+    ],
+    RaceCategory.OTHERS: [
+        others.make_rand_source_case,
+        others.make_config_copy_case,
+    ],
+}
+
+#: Templates engineered to defeat the pipeline (Table 5 reasons).
+UNFIXABLE_TEMPLATES: List[TemplateFn] = [
+    unfixable.make_multi_file_case,
+    unfixable.make_external_vendor_case,
+    unfixable.make_truncated_ancestry_case,
+    unfixable.make_remove_parallelism_case,
+    unfixable.make_singleton_case,
+    unfixable.make_deep_copy_case,
+    unfixable.make_business_logic_case,
+    unfixable.make_large_refactoring_case,
+]
+
+
+def all_templates() -> List[TemplateFn]:
+    result: List[TemplateFn] = []
+    for templates in TEMPLATE_REGISTRY.values():
+        result.extend(templates)
+    result.extend(UNFIXABLE_TEMPLATES)
+    return result

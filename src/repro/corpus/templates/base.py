@@ -1,0 +1,93 @@
+"""Shared helpers for corpus templates."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.categories import RaceCategory, UnfixedReason
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.noise import Vocabulary, make_vocabulary, noise_helper_functions, noise_struct
+from repro.runtime.harness import GoFile, GoPackage
+
+
+def assemble_file(
+    package: str,
+    imports: Sequence[str],
+    body: str,
+    vocab: Optional[Vocabulary] = None,
+    noise_funcs: int = 0,
+    noise_structs: int = 0,
+) -> str:
+    """Assemble a Go source file with imports, optional noise, and the body."""
+    lines: List[str] = [f"package {package}", ""]
+    if imports:
+        if len(imports) == 1:
+            lines.append(f'import "{imports[0]}"')
+        else:
+            lines.append("import (")
+            for path in imports:
+                lines.append(f'\t"{path}"')
+            lines.append(")")
+        lines.append("")
+    chunks: List[str] = []
+    if vocab is not None and noise_structs > 0:
+        for _ in range(noise_structs):
+            chunks.append(noise_struct(vocab))
+    chunks.append(body.strip("\n"))
+    if vocab is not None and noise_funcs > 0:
+        chunks.append(noise_helper_functions(vocab, noise_funcs))
+    lines.append("\n\n".join(chunk for chunk in chunks if chunk))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_case(
+    case_id: str,
+    category: RaceCategory,
+    package_name: str,
+    racy_files: Sequence[Tuple[str, str]],
+    fixed_files: Sequence[Tuple[str, str]],
+    racy_file: str,
+    racy_function: str,
+    racy_variable: str,
+    fix_strategy: str,
+    difficulty: Difficulty,
+    description: str,
+    test_function: str,
+    seed: int,
+    requires_file_scope: bool = False,
+    requires_lca: bool = False,
+    fix_in_test: bool = False,
+    expected_unfixed_reason: Optional[UnfixedReason] = None,
+) -> RaceCase:
+    """Create a :class:`RaceCase` from assembled source files."""
+    package = GoPackage(name=package_name, files=[GoFile(n, s) for n, s in racy_files])
+    fixed = GoPackage(name=package_name, files=[GoFile(n, s) for n, s in fixed_files])
+    return RaceCase(
+        case_id=case_id,
+        category=category,
+        package=package,
+        fixed_package=fixed,
+        racy_file=racy_file,
+        racy_function=racy_function,
+        racy_variable=racy_variable,
+        fix_strategy=fix_strategy,
+        difficulty=difficulty,
+        description=description,
+        requires_file_scope=requires_file_scope,
+        requires_lca=requires_lca,
+        fix_in_test=fix_in_test,
+        expected_unfixed_reason=expected_unfixed_reason,
+        test_function=test_function,
+        seed=seed,
+    )
+
+
+def vocab_for(seed: int) -> Vocabulary:
+    return make_vocabulary(seed)
+
+
+def scaled_noise(noise_level: int, base: int = 1) -> Tuple[int, int]:
+    """Map an abstract noise level (0..3) to (helper functions, structs)."""
+    level = max(0, min(3, noise_level))
+    return base + level * 2, 1 if level >= 1 else 0

@@ -1,0 +1,398 @@
+"""Templates for the "Capture-by-reference in goroutines" category (41% of fixes).
+
+Variants mirror the paper's examples:
+
+* ``make_err_capture_case``     — Listing 1: ``err`` reused inside a goroutine.
+* ``make_limit_capture_case``   — Listing 5: a request limit captured and mutated
+  by per-item goroutines.
+* ``make_data_capture_case``    — Listing 14 (Appendix D): a struct captured by two
+  goroutines, one of which mutates it.
+* ``make_ctx_select_err_case``  — Listing 10: ``err`` shared across a
+  ``select``/``ctx.Done()`` boundary; the idiomatic fix adds an error channel.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_err_capture_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    svc = vocab.type_name()
+    process = "Process" + vocab.entity_type()
+    validate = "validate" + vocab.field_name()
+    task1 = "load" + vocab.field_name()
+    task2 = "publish" + vocab.field_name()
+    field = vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {svc} struct {{
+	{field} int
+}}
+
+func (s *{svc}) {validate}() error {{
+	if s.{field} < 0 {{
+		return errors.New("invalid {field.lower()}")
+	}}
+	return nil
+}}
+
+func (s *{svc}) {task1}(n int) error {{
+	if n > s.{field} {{
+		return nil
+	}}
+	return nil
+}}
+
+func (s *{svc}) {task2}(n int) error {{
+	if n == 0 {{
+		return errors.New("empty batch")
+	}}
+	return nil
+}}
+
+func (s *{svc}) {process}(n int) error {{
+	err := s.{validate}()
+	if err != nil {{
+		return err
+	}}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+		if err = s.{task1}(n); err != nil {{
+			return
+		}}
+	}}()
+	if err = s.{task2}(n); err != nil {{
+		return err
+	}}
+	wg.Wait()
+	return err
+}}
+"""
+    fixed_body = body.replace(f"if err = s.{task1}(n); err != nil {{",
+                              f"if err := s.{task1}(n); err != nil {{")
+    test_body = f"""
+func Test{process}(t *testing.T) {{
+	s := &{svc}{{{field}: 3}}
+	if err := s.{process}(5); err != nil {{
+		t.Errorf("unexpected error: %v", err)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["errors", "sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["errors", "sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_service.go"
+    test_name = f"{vocab.noun()}_service_test.go"
+    return build_case(
+        case_id=f"capture-err-{seed}",
+        category=RaceCategory.CAPTURE_BY_REFERENCE,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=process,
+        racy_variable="err",
+        fix_strategy="redeclare",
+        difficulty=Difficulty.SIMPLE,
+        description="err captured by reference and assigned in both the goroutine and the parent",
+        test_function=f"Test{process}",
+        seed=seed,
+    )
+
+
+def make_limit_capture_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    svc = vocab.type_name()
+    cfg = vocab.entity_type()
+    req = vocab.entity_type() + "Request"
+    dispatch = "Dispatch" + vocab.field_name()
+    submit = "submit" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {cfg} struct {{
+	Limit      int
+	BoostLimit int
+}}
+
+type {req} struct {{
+	Limit int
+	Kind  string
+}}
+
+type {svc} struct {{
+	cfg       *{cfg}
+	submitted int
+}}
+
+func (s *{svc}) {submit}(r {req}) int {{
+	return r.Limit + len(r.Kind)
+}}
+
+func (s *{svc}) {dispatch}(kinds []string) {{
+	var wg sync.WaitGroup
+	limit := s.cfg.Limit
+	for _, kind := range kinds {{
+		kind := kind
+		wg.Add(1)
+		go func(k string) {{
+			defer wg.Done()
+			if k == "boost" {{
+				limit = s.cfg.BoostLimit
+			}}
+			request := {req}{{Limit: limit, Kind: k}}
+			s.{submit}(request)
+		}}(kind)
+	}}
+	wg.Wait()
+}}
+"""
+    fixed_body = body.replace(
+        f"""		go func(k string) {{
+			defer wg.Done()
+			if k == "boost" {{
+				limit = s.cfg.BoostLimit
+			}}
+			request := {req}{{Limit: limit, Kind: k}}""",
+        f"""		go func(k string) {{
+			defer wg.Done()
+			localLimit := limit
+			if k == "boost" {{
+				localLimit = s.cfg.BoostLimit
+			}}
+			request := {req}{{Limit: localLimit, Kind: k}}""",
+    )
+    test_body = f"""
+func Test{dispatch}(t *testing.T) {{
+	svc := &{svc}{{cfg: &{cfg}{{Limit: 5, BoostLimit: 9}}}}
+	svc.{dispatch}([]string{{"boost", "steady", "boost"}})
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_dispatch.go"
+    test_name = f"{vocab.noun()}_dispatch_test.go"
+    return build_case(
+        case_id=f"capture-limit-{seed}",
+        category=RaceCategory.CAPTURE_BY_REFERENCE,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=dispatch,
+        racy_variable="limit",
+        fix_strategy="privatize_local_copy",
+        difficulty=Difficulty.MODERATE,
+        description="a per-request limit captured by reference and overwritten inside loop goroutines",
+        test_function=f"Test{dispatch}",
+        seed=seed,
+    )
+
+
+def make_data_capture_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    rating = vocab.entity_type()
+    ctl = vocab.type_name()
+    process = "Process" + vocab.field_name()
+    save = "save" + vocab.field_name()
+    notify = "notify" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {rating} struct {{
+	Status string
+	Score  int
+}}
+
+type {ctl} struct {{
+	saved int
+	sent  int
+}}
+
+func (c *{ctl}) {save}(r *{rating}) {{
+	c.saved = c.saved + r.Score
+}}
+
+func (c *{ctl}) {notify}(r *{rating}) {{
+	c.sent = c.sent + len(r.Status)
+}}
+
+func (c *{ctl}) {process}(score int) {{
+	data := {rating}{{Status: "pending", Score: score}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		data.Status = "processed"
+		c.{save}(&data)
+	}}()
+	go func() {{
+		defer wg.Done()
+		c.{notify}(&data)
+	}}()
+	wg.Wait()
+}}
+"""
+    fixed_body = body.replace(
+        f"""	go func() {{
+		defer wg.Done()
+		data.Status = "processed"
+		c.{save}(&data)
+	}}()
+	go func() {{
+		defer wg.Done()
+		c.{notify}(&data)
+	}}()""",
+        f"""	go func(d {rating}) {{
+		defer wg.Done()
+		d.Status = "processed"
+		c.{save}(&d)
+	}}(data)
+	go func(d {rating}) {{
+		defer wg.Done()
+		c.{notify}(&d)
+	}}(data)""",
+    )
+    test_body = f"""
+func Test{process}(t *testing.T) {{
+	c := &{ctl}{{}}
+	c.{process}(4)
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_controller.go"
+    test_name = f"{vocab.noun()}_controller_test.go"
+    return build_case(
+        case_id=f"capture-data-{seed}",
+        category=RaceCategory.CAPTURE_BY_REFERENCE,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=process,
+        racy_variable="Status",
+        fix_strategy="privatize_local_copy",
+        difficulty=Difficulty.COMPLEX,
+        description="a request struct captured by two goroutines, one of which mutates a field",
+        test_function=f"Test{process}",
+        seed=seed,
+    )
+
+
+def make_ctx_select_err_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    ctl = vocab.type_name()
+    result = vocab.entity_type() + "Result"
+    evaluate = "Evaluate" + vocab.field_name()
+    inner = "score" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {result} struct {{
+	Value int
+}}
+
+type {ctl} struct {{
+	threshold int
+}}
+
+func (c *{ctl}) {inner}(x int) ({result}, error) {{
+	if x > c.threshold {{
+		return {result}{{Value: x}}, nil
+	}}
+	return {result}{{Value: 0}}, nil
+}}
+
+func (c *{ctl}) {evaluate}(ctx context.Context, x int) (int, error) {{
+	resultChan := make(chan {result}, 1)
+	var err error
+	run := func() {{
+		var result {result}
+		result, err = c.{inner}(x)
+		resultChan <- result
+	}}
+	go run()
+	select {{
+	case result := <-resultChan:
+		return result.Value, err
+	case <-ctx.Done():
+		return 0, err
+	}}
+}}
+"""
+    fixed_body = f"""
+type {result} struct {{
+	Value int
+}}
+
+type {ctl} struct {{
+	threshold int
+}}
+
+func (c *{ctl}) {inner}(x int) ({result}, error) {{
+	if x > c.threshold {{
+		return {result}{{Value: x}}, nil
+	}}
+	return {result}{{Value: 0}}, nil
+}}
+
+func (c *{ctl}) {evaluate}(ctx context.Context, x int) (int, error) {{
+	resultChan := make(chan {result}, 1)
+	errChan := make(chan error, 1)
+	run := func() {{
+		result, err := c.{inner}(x)
+		resultChan <- result
+		errChan <- err
+	}}
+	go run()
+	var err error
+	select {{
+	case result := <-resultChan:
+		err = <-errChan
+		return result.Value, err
+	case <-ctx.Done():
+		return 0, nil
+	}}
+}}
+"""
+    test_body = f"""
+func Test{evaluate}(t *testing.T) {{
+	c := &{ctl}{{threshold: 1}}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	c.{evaluate}(ctx, 5)
+}}
+"""
+    racy = assemble_file(pkg, ["context"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["context"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["context", "testing", "time"], test_body)
+    file_name = f"{vocab.noun()}_risk.go"
+    test_name = f"{vocab.noun()}_risk_test.go"
+    return build_case(
+        case_id=f"capture-ctx-err-{seed}",
+        category=RaceCategory.CAPTURE_BY_REFERENCE,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=evaluate,
+        racy_variable="err",
+        fix_strategy="channel_error",
+        difficulty=Difficulty.COMPLEX,
+        description="err shared between a worker goroutine and a parent that may return early on ctx.Done()",
+        test_function=f"Test{evaluate}",
+        seed=seed,
+    )

@@ -1,0 +1,192 @@
+"""Templates for "Concurrent map access" (5% of fixes).
+
+* ``make_shard_map_case`` — Listing 8: a struct field of built-in map type
+  mutated by concurrently running methods; the idiomatic fix converts it to
+  ``sync.Map`` (a type change plus rewriting every map operation).
+* ``make_local_map_case`` — a local result map written by loop goroutines; the
+  fix guards accesses with a local mutex.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_shard_map_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    scanner = vocab.type_name() + "Scanner"
+    new_fn = "New" + scanner
+    refresh = "refresh" + vocab.field_name()
+    run = "Rebalance" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {scanner} struct {{
+	shards map[string]int
+	limit  int
+}}
+
+func {new_fn}() *{scanner} {{
+	return &{scanner}{{shards: map[string]int{{"alpha": 1, "beta": 2}}, limit: 4}}
+}}
+
+func (s *{scanner}) {refresh}(active map[string]bool) {{
+	for key := range s.shards {{
+		if ok := active[key]; !ok {{
+			delete(s.shards, key)
+		}}
+	}}
+	s.shards["gamma"] = s.limit
+}}
+
+func {run}(workers int) {{
+	scanner := {new_fn}()
+	active := map[string]bool{{"alpha": true}}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			scanner.{refresh}(active)
+		}}()
+	}}
+	wg.Wait()
+}}
+"""
+    fixed_body = f"""
+type {scanner} struct {{
+	shards sync.Map
+	limit  int
+}}
+
+func {new_fn}() *{scanner} {{
+	s := &{scanner}{{limit: 4}}
+	s.shards.Store("alpha", 1)
+	s.shards.Store("beta", 2)
+	return s
+}}
+
+func (s *{scanner}) {refresh}(active map[string]bool) {{
+	s.shards.Range(func(key, value interface{{}}) bool {{
+		name := key.(string)
+		if ok := active[name]; !ok {{
+			s.shards.Delete(name)
+		}}
+		return true
+	}})
+	s.shards.Store("gamma", s.limit)
+}}
+
+func {run}(workers int) {{
+	scanner := {new_fn}()
+	active := map[string]bool{{"alpha": true}}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			scanner.{refresh}(active)
+		}}()
+	}}
+	wg.Wait()
+}}
+"""
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	{run}(3)
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_scanner.go"
+    test_name = f"{vocab.noun()}_scanner_test.go"
+    return build_case(
+        case_id=f"map-shards-{seed}",
+        category=RaceCategory.CONCURRENT_MAP_ACCESS,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=refresh,
+        racy_variable="shards",
+        fix_strategy="sync_map_convert",
+        difficulty=Difficulty.COMPLEX,
+        description="a built-in map field cleaned up concurrently by several workers",
+        requires_file_scope=True,
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_local_map_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    collect = "Collect" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+func {collect}(keys []string) int {{
+	results := map[string]int{{}}
+	var wg sync.WaitGroup
+	for _, key := range keys {{
+		key := key
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			results[key] = len(key)
+		}}()
+	}}
+	wg.Wait()
+	return len(results)
+}}
+"""
+    fixed_body = f"""
+func {collect}(keys []string) int {{
+	results := map[string]int{{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, key := range keys {{
+		key := key
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			mu.Lock()
+			results[key] = len(key)
+			mu.Unlock()
+		}}()
+	}}
+	wg.Wait()
+	return len(results)
+}}
+"""
+    test_body = f"""
+func Test{collect}(t *testing.T) {{
+	if n := {collect}([]string{{"alpha", "beta", "gamma"}}); n < 0 {{
+		t.Errorf("unexpected count %d", n)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_collect.go"
+    test_name = f"{vocab.noun()}_collect_test.go"
+    return build_case(
+        case_id=f"map-local-{seed}",
+        category=RaceCategory.CONCURRENT_MAP_ACCESS,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=collect,
+        racy_variable="results",
+        fix_strategy="mutex_guard",
+        difficulty=Difficulty.MODERATE,
+        description="loop goroutines write into a shared local result map",
+        test_function=f"Test{collect}",
+        seed=seed,
+    )

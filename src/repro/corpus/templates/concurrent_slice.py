@@ -1,0 +1,127 @@
+"""Template for "Concurrent slice access" (5% of fixes) — Listing 9.
+
+One goroutine appends to a slice field while another indexes it; the fix
+introduces a mutex into the owning struct and guards both access sites.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_channel_slice_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    feed = vocab.type_name() + "Feed"
+    push = "push" + vocab.field_name()
+    latest = "latest" + vocab.field_name()
+    stream = "Stream" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {feed} struct {{
+	updates []int
+	label   string
+}}
+
+func (f *{feed}) {push}(n int) {{
+	f.updates = append(f.updates, n)
+}}
+
+func (f *{feed}) {latest}() int {{
+	if len(f.updates) > 0 {{
+		return f.updates[len(f.updates)-1]
+	}}
+	return 0
+}}
+
+func {stream}(count int) int {{
+	feed := &{feed}{{updates: []int{{1}}, label: "{vocab.string_value()}"}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		for i := 0; i < count; i++ {{
+			feed.{push}(i)
+		}}
+	}}()
+	observed := 0
+	go func() {{
+		defer wg.Done()
+		observed = feed.{latest}()
+	}}()
+	wg.Wait()
+	return observed
+}}
+"""
+    fixed_body = f"""
+type {feed} struct {{
+	mu      sync.Mutex
+	updates []int
+	label   string
+}}
+
+func (f *{feed}) {push}(n int) {{
+	f.mu.Lock()
+	f.updates = append(f.updates, n)
+	f.mu.Unlock()
+}}
+
+func (f *{feed}) {latest}() int {{
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.updates) > 0 {{
+		return f.updates[len(f.updates)-1]
+	}}
+	return 0
+}}
+
+func {stream}(count int) int {{
+	feed := &{feed}{{updates: []int{{1}}, label: "{vocab.string_value()}"}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		for i := 0; i < count; i++ {{
+			feed.{push}(i)
+		}}
+	}}()
+	observed := 0
+	go func() {{
+		defer wg.Done()
+		observed = feed.{latest}()
+	}}()
+	wg.Wait()
+	return observed
+}}
+"""
+    test_body = f"""
+func Test{stream}(t *testing.T) {{
+	if got := {stream}(4); got < 0 {{
+		t.Errorf("unexpected value %d", got)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_feed.go"
+    test_name = f"{vocab.noun()}_feed_test.go"
+    return build_case(
+        case_id=f"slice-feed-{seed}",
+        category=RaceCategory.CONCURRENT_SLICE_ACCESS,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=push,
+        racy_variable="updates",
+        fix_strategy="mutex_guard",
+        difficulty=Difficulty.COMPLEX,
+        description="one goroutine appends to a slice field while another reads it",
+        requires_file_scope=True,
+        test_function=f"Test{stream}",
+        seed=seed,
+    )

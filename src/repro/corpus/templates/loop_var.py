@@ -1,0 +1,73 @@
+"""Template for "Capture of loop variable" (6% of fixes) — Listing 11.
+
+Loop variables had per-loop scope before Go 1.22; closures launched inside the
+loop therefore all observe (and race with) the same variable instance.  The
+fix privatizes the variable with ``x := x`` at the top of the loop body.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_loop_var_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    fan_out = "Broadcast" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+func {fan_out}(items []string) int {{
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for _, item := range items {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			mu.Lock()
+			total = total + len(item)
+			mu.Unlock()
+		}}()
+	}}
+	wg.Wait()
+	return total
+}}
+"""
+    fixed_body = body.replace(
+        """	for _, item := range items {
+		wg.Add(1)""",
+        """	for _, item := range items {
+		item := item
+		wg.Add(1)""",
+    )
+    test_body = f"""
+func Test{fan_out}(t *testing.T) {{
+	total := {fan_out}([]string{{"alpha", "beta", "gamma"}})
+	if total < 0 {{
+		t.Errorf("unexpected total %d", total)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_broadcast.go"
+    test_name = f"{vocab.noun()}_broadcast_test.go"
+    return build_case(
+        case_id=f"loopvar-{seed}",
+        category=RaceCategory.LOOP_VARIABLE_CAPTURE,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=fan_out,
+        racy_variable="item",
+        fix_strategy="loop_var_copy",
+        difficulty=Difficulty.SIMPLE,
+        description="the range variable is captured by reference by goroutines launched in the loop",
+        test_function=f"Test{fan_out}",
+        seed=seed,
+    )

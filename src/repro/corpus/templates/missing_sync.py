@@ -1,0 +1,301 @@
+"""Templates for "Missing/incorrect synchronization" (26% of fixes).
+
+* ``make_waitgroup_add_case``   — Listing 6: ``wg.Add`` placed inside the goroutine.
+* ``make_counter_case``         — an unguarded counter field; the fix introduces a
+  mutex into the aggregate type (Table 4 item 5).
+* ``make_partial_locking_case`` — Listings 30-32: a field locked on the write path
+  but read without the lock elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_waitgroup_add_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    proposal = vocab.entity_type() + "Proposal"
+    new_fn = "New" + proposal
+    propose = "propose" + vocab.field_name()
+    run = "Replicate" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {proposal} struct {{
+	Entries map[string]int
+	mu      sync.Mutex
+}}
+
+func {new_fn}() *{proposal} {{
+	return &{proposal}{{Entries: map[string]int{{}}}}
+}}
+
+func {propose}(p *{proposal}, replica int) {{
+	p.mu.Lock()
+	p.Entries["replica"] = replica
+	p.mu.Unlock()
+}}
+
+func {run}(replicas int) int {{
+	proposals := {new_fn}()
+	var wg sync.WaitGroup
+	for i := 1; i < replicas; i++ {{
+		go func(pod int) {{
+			wg.Add(1)
+			defer wg.Done()
+			{propose}(proposals, pod)
+		}}(i)
+	}}
+	wg.Wait()
+	total := 0
+	for key := range proposals.Entries {{
+		if key != "" {{
+			total++
+		}}
+	}}
+	return total
+}}
+"""
+    fixed_body = body.replace(
+        f"""	for i := 1; i < replicas; i++ {{
+		go func(pod int) {{
+			wg.Add(1)
+			defer wg.Done()""",
+        f"""	for i := 1; i < replicas; i++ {{
+		wg.Add(1)
+		go func(pod int) {{
+			defer wg.Done()""",
+    )
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if total := {run}(5); total < 0 {{
+		t.Errorf("unexpected total %d", total)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_replicator.go"
+    test_name = f"{vocab.noun()}_replicator_test.go"
+    return build_case(
+        case_id=f"sync-wgadd-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=run,
+        racy_variable="Entries",
+        fix_strategy="move_wg_add",
+        difficulty=Difficulty.MODERATE,
+        description="wg.Add executed inside the goroutine, letting Wait return before the children finish",
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_counter_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    tracker = vocab.type_name()
+    record = "record" + vocab.field_name()
+    snapshot = "snapshot" + vocab.field_name()
+    process = "Aggregate" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {tracker} struct {{
+	total int
+	batch int
+}}
+
+func (t *{tracker}) {record}(n int) {{
+	t.total = t.total + n
+}}
+
+func (t *{tracker}) {snapshot}() int {{
+	return t.total
+}}
+
+func {process}(values []int) int {{
+	tracker := &{tracker}{{batch: len(values)}}
+	var wg sync.WaitGroup
+	for _, v := range values {{
+		v := v
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			tracker.{record}(v)
+		}}()
+	}}
+	wg.Wait()
+	return tracker.{snapshot}()
+}}
+"""
+    fixed_body = f"""
+type {tracker} struct {{
+	mu    sync.Mutex
+	total int
+	batch int
+}}
+
+func (t *{tracker}) {record}(n int) {{
+	t.mu.Lock()
+	t.total = t.total + n
+	t.mu.Unlock()
+}}
+
+func (t *{tracker}) {snapshot}() int {{
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}}
+
+func {process}(values []int) int {{
+	tracker := &{tracker}{{batch: len(values)}}
+	var wg sync.WaitGroup
+	for _, v := range values {{
+		v := v
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			tracker.{record}(v)
+		}}()
+	}}
+	wg.Wait()
+	return tracker.{snapshot}()
+}}
+"""
+    test_body = f"""
+func Test{process}(t *testing.T) {{
+	total := {process}([]int{{2, 3, 4}})
+	if total < 0 {{
+		t.Errorf("negative total %d", total)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_tracker.go"
+    test_name = f"{vocab.noun()}_tracker_test.go"
+    return build_case(
+        case_id=f"sync-counter-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=record,
+        racy_variable="total",
+        fix_strategy="mutex_guard",
+        difficulty=Difficulty.COMPLEX,
+        description="an unguarded counter field updated by worker goroutines; the fix adds a mutex to the type",
+        requires_file_scope=True,
+        test_function=f"Test{process}",
+        seed=seed,
+    )
+
+
+def make_partial_locking_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    job = vocab.type_name() + "Job"
+    start = "start" + vocab.field_name()
+    ping = "ping" + vocab.field_name()
+    monitor = "Monitor" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {job} struct {{
+	mu     sync.Mutex
+	exists bool
+	output bool
+}}
+
+func (j *{job}) {start}() {{
+	j.mu.Lock()
+	j.exists = true
+	j.mu.Unlock()
+}}
+
+func (j *{job}) {ping}() bool {{
+	if j.exists {{
+		j.mu.Lock()
+		j.output = true
+		j.mu.Unlock()
+		return true
+	}}
+	return false
+}}
+
+func {monitor}(rounds int) {{
+	job := &{job}{{}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		job.{start}()
+	}}()
+	go func() {{
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {{
+			job.{ping}()
+		}}
+	}}()
+	wg.Wait()
+}}
+"""
+    fixed_body = body.replace(
+        f"""func (j *{job}) {ping}() bool {{
+	if j.exists {{
+		j.mu.Lock()
+		j.output = true
+		j.mu.Unlock()
+		return true
+	}}
+	return false
+}}""",
+        f"""func (j *{job}) {ping}() bool {{
+	j.mu.Lock()
+	exists := j.exists
+	j.mu.Unlock()
+	if exists {{
+		j.mu.Lock()
+		j.output = true
+		j.mu.Unlock()
+		return true
+	}}
+	return false
+}}""",
+    )
+    test_body = f"""
+func Test{monitor}(t *testing.T) {{
+	{monitor}(3)
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_monitor.go"
+    test_name = f"{vocab.noun()}_monitor_test.go"
+    return build_case(
+        case_id=f"sync-partial-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=ping,
+        racy_variable="exists",
+        fix_strategy="complete_locking",
+        difficulty=Difficulty.COMPLEX,
+        description="a flag written under a mutex but read without it in another method",
+        requires_file_scope=True,
+        test_function=f"Test{monitor}",
+        seed=seed,
+    )

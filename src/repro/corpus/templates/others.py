@@ -1,0 +1,162 @@
+"""Templates for the "Others" category (4% of fixes).
+
+* ``make_rand_source_case``  — Listing 12: handlers share a thread-unsafe
+  ``rand.Source``; the fix creates a fresh source per request.
+* ``make_config_copy_case``  — Listing 22: a shared config struct mutated by a
+  constructor called concurrently; the fix copies the struct before modifying it.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_rand_source_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    svc = vocab.type_name() + "HTTP"
+    handle = "Render" + vocab.field_name()
+    serve = "Serve" + vocab.field_name()
+    source_var = "_" + vocab.var_name() + "Source"
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+var {source_var} = rand.NewSource(1001)
+
+type {svc} struct {{
+	served int
+}}
+
+func (s *{svc}) {handle}(size int) int {{
+	random := rand.New({source_var})
+	total := 0
+	for i := 0; i < size; i++ {{
+		total = total + random.Intn(9)
+	}}
+	return total
+}}
+
+func {serve}(requests int) {{
+	svc := &{svc}{{}}
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			svc.{handle}(3)
+		}}()
+	}}
+	wg.Wait()
+}}
+"""
+    fixed_body = body.replace(
+        f"	random := rand.New({source_var})",
+        "	random := rand.New(rand.NewSource(1001))",
+    )
+    test_body = f"""
+func Test{serve}(t *testing.T) {{
+	{serve}(3)
+}}
+"""
+    racy = assemble_file(pkg, ["math/rand", "sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["math/rand", "sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_handler.go"
+    test_name = f"{vocab.noun()}_handler_test.go"
+    return build_case(
+        case_id=f"other-rand-{seed}",
+        category=RaceCategory.OTHERS,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=handle,
+        racy_variable="rand.Source",
+        fix_strategy="rand_per_request",
+        difficulty=Difficulty.MODERATE,
+        description="concurrent handlers share a thread-unsafe math/rand source",
+        test_function=f"Test{serve}",
+        seed=seed,
+    )
+
+
+def make_config_copy_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    cfg = vocab.entity_type() + "Config"
+    client = vocab.type_name() + "Consumer"
+    new_consumer = "new" + client
+    fanout = "Provision" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {cfg} struct {{
+	Retries int
+	Timeout int
+	Region  string
+}}
+
+type {client} struct {{
+	applied int
+}}
+
+func {new_consumer}(cfg *{cfg}, region string) *{client} {{
+	cfg.Retries = 3
+	cfg.Region = region
+	return &{client}{{applied: cfg.Retries + cfg.Timeout}}
+}}
+
+func {fanout}(regions []string) {{
+	shared := &{cfg}{{Timeout: 30}}
+	var wg sync.WaitGroup
+	for _, region := range regions {{
+		region := region
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			{new_consumer}(shared, region)
+		}}()
+	}}
+	wg.Wait()
+}}
+"""
+    fixed_body = body.replace(
+        f"""func {new_consumer}(cfg *{cfg}, region string) *{client} {{
+	cfg.Retries = 3
+	cfg.Region = region
+	return &{client}{{applied: cfg.Retries + cfg.Timeout}}
+}}""",
+        f"""func {new_consumer}(cfg *{cfg}, region string) *{client} {{
+	newConfig := *cfg
+	newConfig.Retries = 3
+	newConfig.Region = region
+	return &{client}{{applied: newConfig.Retries + newConfig.Timeout}}
+}}""",
+    )
+    test_body = f"""
+func Test{fanout}(t *testing.T) {{
+	{fanout}([]string{{"sjc", "dca", "phx"}})
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_consumer.go"
+    test_name = f"{vocab.noun()}_consumer_test.go"
+    return build_case(
+        case_id=f"other-config-{seed}",
+        category=RaceCategory.OTHERS,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=new_consumer,
+        racy_variable="Retries",
+        fix_strategy="struct_copy",
+        difficulty=Difficulty.COMPLEX,
+        description="a shared configuration struct mutated by a constructor invoked concurrently",
+        test_function=f"Test{fanout}",
+        seed=seed,
+    )

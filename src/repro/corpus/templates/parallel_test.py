@@ -1,0 +1,190 @@
+"""Templates for the "Parallel test suite" category (13% of fixes).
+
+The racing accesses are in the code under test, but the root cause — and the
+fix — is in the test: parallel subtests share a mutable fixture (Listing 7).
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_shared_hash_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    uploader = vocab.type_name() + "Uploader"
+    read = "Checksum" + vocab.field_name()
+    test_fn = f"Test{read}"
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {uploader} struct {{
+	label  string
+	hasher interface{{}}
+}}
+
+func (u *{uploader}) {read}(payload string) string {{
+	h := u.hasher.(Hasher{uploader})
+	h.Write(payload)
+	h.Write(u.label)
+	return u.label
+}}
+
+type Hasher{uploader} interface {{
+	Write(p string) (int, error)
+}}
+"""
+    test_racy = f"""
+func {test_fn}(t *testing.T) {{
+	sampleHash := md5.New()
+	tests := []struct {{
+		name string
+		hash interface{{}}
+	}}{{
+		{{name: "success-one", hash: sampleHash}},
+		{{name: "success-two", hash: sampleHash}},
+		{{name: "success-three", hash: sampleHash}},
+	}}
+	for _, tt := range tests {{
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {{
+			t.Parallel()
+			u := &{uploader}{{label: tt.name, hasher: tt.hash}}
+			u.{read}("payload")
+		}})
+	}}
+}}
+"""
+    test_fixed = f"""
+func {test_fn}(t *testing.T) {{
+	tests := []struct {{
+		name string
+		hash interface{{}}
+	}}{{
+		{{name: "success-one", hash: md5.New()}},
+		{{name: "success-two", hash: md5.New()}},
+		{{name: "success-three", hash: md5.New()}},
+	}}
+	for _, tt := range tests {{
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {{
+			t.Parallel()
+			u := &{uploader}{{label: tt.name, hasher: tt.hash}}
+			u.{read}("payload")
+		}})
+	}}
+}}
+"""
+    main = assemble_file(pkg, [], body, vocab, noise_funcs, noise_structs)
+    racy_test = assemble_file(pkg, ["crypto/md5", "testing"], test_racy)
+    fixed_test = assemble_file(pkg, ["crypto/md5", "testing"], test_fixed)
+    file_name = f"{vocab.noun()}_uploader.go"
+    test_name = f"{vocab.noun()}_uploader_test.go"
+    return build_case(
+        case_id=f"ptest-hash-{seed}",
+        category=RaceCategory.PARALLEL_TEST_SUITE,
+        package_name=pkg,
+        racy_files=[(file_name, main), (test_name, racy_test)],
+        fixed_files=[(file_name, main), (test_name, fixed_test)],
+        racy_file=test_name,
+        racy_function=test_fn,
+        racy_variable="sampleHash",
+        fix_strategy="parallel_test_isolation",
+        difficulty=Difficulty.MODERATE,
+        description="table-driven parallel subtests share one hash instance",
+        fix_in_test=True,
+        test_function=test_fn,
+        seed=seed,
+    )
+
+
+def make_shared_fixture_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    cfg = vocab.entity_type() + "Fixture"
+    apply_fn = "Apply" + vocab.field_name()
+    test_fn = f"Test{apply_fn}"
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {cfg} struct {{
+	Region string
+	Quota  int
+}}
+
+func {apply_fn}(f *{cfg}) int {{
+	if f.Region == "" {{
+		return 0
+	}}
+	return f.Quota + len(f.Region)
+}}
+"""
+    test_racy = f"""
+func {test_fn}(t *testing.T) {{
+	fixture := &{cfg}{{Region: "sjc", Quota: 2}}
+	cases := []struct {{
+		name   string
+		region string
+	}}{{
+		{{name: "west", region: "sjc"}},
+		{{name: "east", region: "dca"}},
+		{{name: "south", region: "atl"}},
+	}}
+	for _, tc := range cases {{
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {{
+			t.Parallel()
+			fixture.Region = tc.region
+			if got := {apply_fn}(fixture); got < 0 {{
+				t.Errorf("unexpected result %d", got)
+			}}
+		}})
+	}}
+}}
+"""
+    test_fixed = f"""
+func {test_fn}(t *testing.T) {{
+	cases := []struct {{
+		name   string
+		region string
+	}}{{
+		{{name: "west", region: "sjc"}},
+		{{name: "east", region: "dca"}},
+		{{name: "south", region: "atl"}},
+	}}
+	for _, tc := range cases {{
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {{
+			t.Parallel()
+			fixture := &{cfg}{{Region: "sjc", Quota: 2}}
+			fixture.Region = tc.region
+			if got := {apply_fn}(fixture); got < 0 {{
+				t.Errorf("unexpected result %d", got)
+			}}
+		}})
+	}}
+}}
+"""
+    main = assemble_file(pkg, [], body, vocab, noise_funcs, noise_structs)
+    racy_test = assemble_file(pkg, ["testing"], test_racy)
+    fixed_test = assemble_file(pkg, ["testing"], test_fixed)
+    file_name = f"{vocab.noun()}_quota.go"
+    test_name = f"{vocab.noun()}_quota_test.go"
+    return build_case(
+        case_id=f"ptest-fixture-{seed}",
+        category=RaceCategory.PARALLEL_TEST_SUITE,
+        package_name=pkg,
+        racy_files=[(file_name, main), (test_name, racy_test)],
+        fixed_files=[(file_name, main), (test_name, fixed_test)],
+        racy_file=test_name,
+        racy_function=test_fn,
+        racy_variable="Region",
+        fix_strategy="parallel_test_isolation",
+        difficulty=Difficulty.MODERATE,
+        description="parallel subtests mutate a shared fixture struct",
+        fix_in_test=True,
+        test_function=test_fn,
+        seed=seed,
+    )

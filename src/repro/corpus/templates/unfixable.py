@@ -1,0 +1,785 @@
+"""Templates engineered to defeat the pipeline, reproducing Table 5.
+
+Each case genuinely resists Dr.Fix for the same structural reason the paper
+reports: fixes spanning more than two files, racy code inside external/vendor
+packages the tool may not modify, truncated calling contexts, fixes that would
+require removing parallelism or redesigning business logic, and fixes that
+need deep copies or large refactorings the strategy library does not perform.
+"""
+
+from __future__ import annotations
+
+from repro.core.categories import RaceCategory, UnfixedReason
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+
+
+def make_multi_file_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    orchestrate = "Orchestrate" + vocab.field_name()
+    fn_a = "ingest" + vocab.field_name()
+    fn_b = "expire" + vocab.field_name()
+    fn_c = "tally" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    registry = f"""
+var registry = map[string]int{{}}
+
+func {fn_a}(key string) {{
+	registry[key] = len(key)
+}}
+"""
+    expire = f"""
+func {fn_b}(key string) {{
+	delete(registry, key)
+}}
+"""
+    tally = f"""
+func {fn_c}() int {{
+	total := 0
+	for _, v := range registry {{
+		total = total + v
+	}}
+	return total
+}}
+"""
+    orchestrator = f"""
+func {orchestrate}(keys []string) int {{
+	var wg sync.WaitGroup
+	for _, key := range keys {{
+		key := key
+		wg.Add(3)
+		go func() {{
+			defer wg.Done()
+			{fn_a}(key)
+		}}()
+		go func() {{
+			defer wg.Done()
+			{fn_b}(key)
+		}}()
+		go func() {{
+			defer wg.Done()
+			{fn_c}()
+		}}()
+	}}
+	wg.Wait()
+	return {fn_c}()
+}}
+"""
+    fixed_registry = f"""
+var registry = map[string]int{{}}
+
+var registryMu sync.Mutex
+
+func {fn_a}(key string) {{
+	registryMu.Lock()
+	registry[key] = len(key)
+	registryMu.Unlock()
+}}
+"""
+    fixed_expire = f"""
+func {fn_b}(key string) {{
+	registryMu.Lock()
+	delete(registry, key)
+	registryMu.Unlock()
+}}
+"""
+    fixed_tally = f"""
+func {fn_c}() int {{
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	total := 0
+	for _, v := range registry {{
+		total = total + v
+	}}
+	return total
+}}
+"""
+    test_body = f"""
+func Test{orchestrate}(t *testing.T) {{
+	{orchestrate}([]string{{"alpha", "beta"}})
+}}
+"""
+    files = [
+        (f"{vocab.noun()}_registry.go", assemble_file(pkg, [], registry, vocab, noise_funcs, noise_structs)),
+        (f"{vocab.noun()}_expire.go", assemble_file(pkg, [], expire)),
+        (f"{vocab.noun()}_tally.go", assemble_file(pkg, [], tally)),
+        (f"{vocab.noun()}_orchestrator.go", assemble_file(pkg, ["sync"], orchestrator)),
+        (f"{vocab.noun()}_orchestrator_test.go", assemble_file(pkg, ["testing"], test_body)),
+    ]
+    fixed_files = [
+        (files[0][0], assemble_file(pkg, ["sync"], fixed_registry, vocab, noise_funcs, noise_structs)),
+        (files[1][0], assemble_file(pkg, [], fixed_expire)),
+        (files[2][0], assemble_file(pkg, [], fixed_tally)),
+        files[3],
+        files[4],
+    ]
+    return build_case(
+        case_id=f"unfix-multifile-{seed}",
+        category=RaceCategory.CONCURRENT_MAP_ACCESS,
+        package_name=pkg,
+        racy_files=files,
+        fixed_files=fixed_files,
+        racy_file=files[0][0],
+        racy_function=fn_a,
+        racy_variable="registry",
+        fix_strategy="mutex_guard",
+        difficulty=Difficulty.COMPLEX,
+        description="a package-level map mutated from helpers spread over three files",
+        requires_file_scope=True,
+        expected_unfixed_reason=UnfixedReason.MULTI_FILE,
+        test_function=f"Test{orchestrate}",
+        seed=seed,
+    )
+
+
+def make_external_vendor_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    acquire = "AcquireConn"
+    service_a = "Query" + vocab.field_name()
+    service_b = "Stream" + vocab.field_name()
+    run = "FanIn" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    vendor = f"""
+var poolSize = 0
+
+func {acquire}(n int) int {{
+	poolSize = poolSize + n
+	return poolSize
+}}
+"""
+    caller_a = f"""
+func {service_a}(rounds int) int {{
+	total := 0
+	for i := 0; i < rounds; i++ {{
+		total = total + {acquire}(i)
+	}}
+	return total
+}}
+"""
+    caller_b = f"""
+func {service_b}(rounds int) int {{
+	total := 0
+	for i := 0; i < rounds; i++ {{
+		total = total + {acquire}(i + 1)
+	}}
+	return total
+}}
+"""
+    runner = f"""
+func {run}(rounds int) {{
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		{service_a}(rounds)
+	}}()
+	go func() {{
+		defer wg.Done()
+		{service_b}(rounds)
+	}}()
+	wg.Wait()
+}}
+"""
+    fixed_vendor = f"""
+var poolSize = 0
+
+var poolMu sync.Mutex
+
+func {acquire}(n int) int {{
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	poolSize = poolSize + n
+	return poolSize
+}}
+"""
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	{run}(2)
+}}
+"""
+    files = [
+        ("vendor/connpool/pool.go", assemble_file("connpool", [], vendor)),
+        (f"{vocab.noun()}_query.go", assemble_file(pkg, [], caller_a, vocab, noise_funcs, noise_structs)),
+        (f"{vocab.noun()}_stream.go", assemble_file(pkg, [], caller_b)),
+        (f"{vocab.noun()}_fanin.go", assemble_file(pkg, ["sync"], runner)),
+        (f"{vocab.noun()}_fanin_test.go", assemble_file(pkg, ["testing"], test_body)),
+    ]
+    fixed_files = [
+        ("vendor/connpool/pool.go", assemble_file("connpool", ["sync"], fixed_vendor)),
+        files[1],
+        files[2],
+        files[3],
+        files[4],
+    ]
+    return build_case(
+        case_id=f"unfix-vendor-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=files,
+        fixed_files=fixed_files,
+        racy_file="vendor/connpool/pool.go",
+        racy_function=acquire,
+        racy_variable="poolSize",
+        fix_strategy="mutex_guard",
+        difficulty=Difficulty.COMPLEX,
+        description="the racy accesses live inside vendored third-party code",
+        expected_unfixed_reason=UnfixedReason.EXTERNAL,
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_truncated_ancestry_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    stage_a = "project" + vocab.field_name()
+    stage_b = "archive" + vocab.field_name()
+    launch = "Pipeline" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+var window = []int{{1, 2, 3}}
+
+func {stage_a}(n int) {{
+	window = append(window, n)
+}}
+
+func {stage_b}() int {{
+	total := 0
+	for _, v := range window {{
+		total = total + v
+	}}
+	return total
+}}
+
+func {launch}(rounds int) {{
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		go func() {{
+			{stage_a}(rounds)
+		}}()
+	}}()
+	go func() {{
+		defer wg.Done()
+		go func() {{
+			{stage_b}()
+		}}()
+	}}()
+	wg.Wait()
+}}
+"""
+    fixed_body = body.replace(
+        f"""func {launch}(rounds int) {{
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		go func() {{
+			{stage_a}(rounds)
+		}}()
+	}}()
+	go func() {{
+		defer wg.Done()
+		go func() {{
+			{stage_b}()
+		}}()
+	}}()
+	wg.Wait()
+}}""",
+        f"""func {launch}(rounds int) {{
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		mu.Lock()
+		{stage_a}(rounds)
+		mu.Unlock()
+	}}()
+	go func() {{
+		defer wg.Done()
+		mu.Lock()
+		{stage_b}()
+		mu.Unlock()
+	}}()
+	wg.Wait()
+}}""",
+    )
+    test_body = f"""
+func Test{launch}(t *testing.T) {{
+	{launch}(2)
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_pipeline.go"
+    test_name = f"{vocab.noun()}_pipeline_test.go"
+    case = build_case(
+        case_id=f"unfix-truncated-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=stage_a,
+        racy_variable="window",
+        fix_strategy="mutex_guard",
+        difficulty=Difficulty.COMPLEX,
+        description="detached grandchild goroutines race on a package-level slice; the report's ancestry is truncated",
+        expected_unfixed_reason=UnfixedReason.ISOLATE_TEST,
+        test_function=f"Test{launch}",
+        seed=seed,
+    )
+    case.truncate_ancestry = True
+    return case
+
+
+def make_remove_parallelism_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    accumulate = "accumulate" + vocab.field_name()
+    compute = "Estimate" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+func {accumulate}(target *int, n int) {{
+	*target = *target + n
+}}
+
+func {compute}(values []int) int {{
+	result := 0
+	for _, v := range values {{
+		v := v
+		go func() {{
+			for i := 0; i < 3; i++ {{
+				{accumulate}(&result, v+i)
+			}}
+		}}()
+	}}
+	observed := 0
+	for i := 0; i < 8; i++ {{
+		observed = observed + result
+	}}
+	return observed
+}}
+"""
+    fixed_body = f"""
+func {accumulate}(target *int, n int) {{
+	*target = *target + n
+}}
+
+func {compute}(values []int) int {{
+	result := 0
+	for _, v := range values {{
+		{accumulate}(&result, v)
+	}}
+	observed := 0
+	for range values {{
+		observed = observed + result
+	}}
+	return observed
+}}
+"""
+    test_body = f"""
+func Test{compute}(t *testing.T) {{
+	if got := {compute}([]int{{1, 2, 3}}); got < 0 {{
+		t.Errorf("unexpected result %d", got)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, [], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, [], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_estimator.go"
+    test_name = f"{vocab.noun()}_estimator_test.go"
+    return build_case(
+        case_id=f"unfix-parallelism-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=accumulate,
+        racy_variable="result",
+        fix_strategy="remove_parallelism",
+        difficulty=Difficulty.COMPLEX,
+        description="fire-and-forget goroutines write a result the caller returns immediately; the human fix removed the parallelism",
+        expected_unfixed_reason=UnfixedReason.CHANGE_PARALLELISM,
+        test_function=f"Test{compute}",
+        seed=seed,
+    )
+
+
+def make_singleton_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    registry = vocab.type_name() + "Registry"
+    get_instance = "Get" + registry
+    use = "Resolve" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {registry} struct {{
+	entries int
+}}
+
+var sharedInstance *{registry}
+
+func {get_instance}() *{registry} {{
+	if sharedInstance == nil {{
+		sharedInstance = &{registry}{{entries: 1}}
+	}}
+	return sharedInstance
+}}
+
+func {use}(workers int) {{
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			{get_instance}()
+		}}()
+	}}
+	wg.Wait()
+}}
+"""
+    fixed_body = f"""
+type {registry} struct {{
+	entries int
+}}
+
+var sharedInstance *{registry}
+
+var sharedOnce sync.Once
+
+func {get_instance}() *{registry} {{
+	sharedOnce.Do(func() {{
+		sharedInstance = &{registry}{{entries: 1}}
+	}})
+	return sharedInstance
+}}
+
+func {use}(workers int) {{
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			{get_instance}()
+		}}()
+	}}
+	wg.Wait()
+}}
+"""
+    test_body = f"""
+func Test{use}(t *testing.T) {{
+	{use}(3)
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_registry.go"
+    test_name = f"{vocab.noun()}_registry_test.go"
+    return build_case(
+        case_id=f"unfix-singleton-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=get_instance,
+        racy_variable="sharedInstance",
+        fix_strategy="once",
+        difficulty=Difficulty.COMPLEX,
+        description="lazy singleton initialization raced by concurrent getters",
+        expected_unfixed_reason=UnfixedReason.SINGLETON,
+        test_function=f"Test{use}",
+        seed=seed,
+    )
+
+
+def make_deep_copy_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    account = vocab.entity_type() + "Account"
+    wrap = "Fulfil" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {account} struct {{
+	Tags  []string
+	Owner string
+}}
+
+func {wrap}(acct *{account}, workers int) {{
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		i := i
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			snapshot := *acct
+			if len(snapshot.Tags) > 0 {{
+				snapshot.Tags[0] = snapshot.Owner
+			}}
+			_ = i
+		}}()
+	}}
+	wg.Wait()
+}}
+"""
+    fixed_body = body.replace(
+        """			snapshot := *acct
+			if len(snapshot.Tags) > 0 {
+				snapshot.Tags[0] = snapshot.Owner
+			}""",
+        """			snapshot := *acct
+			tags := make([]string, len(acct.Tags))
+			copy(tags, acct.Tags)
+			snapshot.Tags = tags
+			if len(snapshot.Tags) > 0 {
+				snapshot.Tags[0] = snapshot.Owner
+			}""",
+    )
+    test_body = f"""
+func Test{wrap}(t *testing.T) {{
+	acct := &{account}{{Tags: []string{{"vip", "beta"}}, Owner: "ops"}}
+	{wrap}(acct, 3)
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_account.go"
+    test_name = f"{vocab.noun()}_account_test.go"
+    return build_case(
+        case_id=f"unfix-deepcopy-{seed}",
+        category=RaceCategory.CAPTURE_BY_REFERENCE,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=wrap,
+        racy_variable="Tags",
+        fix_strategy="deep_copy",
+        difficulty=Difficulty.COMPLEX,
+        description="shallow struct copies still share the backing slice; only a deep copy eliminates the race",
+        expected_unfixed_reason=UnfixedReason.DEEP_COPY,
+        test_function=f"Test{wrap}",
+        seed=seed,
+    )
+
+
+def make_business_logic_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    ledger = vocab.type_name() + "Ledger"
+    audit = vocab.type_name() + "Audit"
+    post = "post" + vocab.field_name()
+    reconcile = "reconcile" + vocab.field_name()
+    close_books = "CloseBooks" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+var openBalance = 0
+
+type {ledger} struct {{
+	pending int
+}}
+
+type {audit} struct {{
+	flagged int
+}}
+
+func (l *{ledger}) {post}(amount int) {{
+	l.pending = l.pending + amount
+	openBalance = openBalance + amount
+}}
+
+func (a *{audit}) {reconcile}() int {{
+	if openBalance > 100 {{
+		a.flagged = a.flagged + 1
+	}}
+	return openBalance
+}}
+
+func {close_books}(amounts []int) int {{
+	ledger := &{ledger}{{}}
+	audit := &{audit}{{}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		for _, amount := range amounts {{
+			amount := amount
+			ledger.{post}(amount)
+		}}
+	}}()
+	total := 0
+	go func() {{
+		defer wg.Done()
+		total = audit.{reconcile}()
+	}}()
+	wg.Wait()
+	return total
+}}
+"""
+    fixed_body = body.replace(
+        f"""func {close_books}(amounts []int) int {{
+	ledger := &{ledger}{{}}
+	audit := &{audit}{{}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		for _, amount := range amounts {{
+			amount := amount
+			ledger.{post}(amount)
+		}}
+	}}()
+	total := 0
+	go func() {{
+		defer wg.Done()
+		total = audit.{reconcile}()
+	}}()
+	wg.Wait()
+	return total
+}}""",
+        f"""func {close_books}(amounts []int) int {{
+	ledger := &{ledger}{{}}
+	audit := &{audit}{{}}
+	for _, amount := range amounts {{
+		ledger.{post}(amount)
+	}}
+	return audit.{reconcile}()
+}}""",
+    )
+    test_body = f"""
+func Test{close_books}(t *testing.T) {{
+	{close_books}([]int{{40, 80, 20}})
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, [], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_ledger.go"
+    test_name = f"{vocab.noun()}_ledger_test.go"
+    return build_case(
+        case_id=f"unfix-business-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=post,
+        racy_variable="openBalance",
+        fix_strategy="business_redesign",
+        difficulty=Difficulty.COMPLEX,
+        description="two unrelated aggregates race through a package-level balance; fixing it means rethinking the posting flow",
+        expected_unfixed_reason=UnfixedReason.BUSINESS_LOGIC,
+        test_function=f"Test{close_books}",
+        seed=seed,
+    )
+
+
+def make_large_refactoring_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    fetch = "FetchAll" + vocab.field_name()
+    worker = "page" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+var pageCursor = 0
+
+func {worker}(results chan int, step int) {{
+	pageCursor = pageCursor + step
+	results <- pageCursor
+}}
+
+func {fetch}(batches int) int {{
+	results := make(chan int, batches)
+	stop := make(chan int, 1)
+	collected := 0
+	go func() {{
+		for i := 0; i < batches; i++ {{
+			go {worker}(results, i+1)
+		}}
+	}}()
+	go func() {{
+		for i := 0; i < batches; i++ {{
+			value := <-results
+			collected = collected + value
+		}}
+		stop <- collected
+	}}()
+	final := <-stop
+	if pageCursor > final {{
+		return final
+	}}
+	return collected
+}}
+"""
+    fixed_body = f"""
+func {worker}(results chan int, cursor int, step int) {{
+	results <- cursor + step
+}}
+
+func {fetch}(batches int) int {{
+	results := make(chan int, batches)
+	stop := make(chan int, 1)
+	go func() {{
+		cursor := 0
+		for i := 0; i < batches; i++ {{
+			cursor = cursor + i + 1
+			{worker}(results, cursor, 0)
+		}}
+	}}()
+	go func() {{
+		collected := 0
+		for i := 0; i < batches; i++ {{
+			value := <-results
+			collected = collected + value
+		}}
+		stop <- collected
+	}}()
+	return <-stop
+}}
+"""
+    test_body = f"""
+func Test{fetch}(t *testing.T) {{
+	if got := {fetch}(3); got < 0 {{
+		t.Errorf("unexpected total %d", got)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, [], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, [], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_pager.go"
+    test_name = f"{vocab.noun()}_pager_test.go"
+    return build_case(
+        case_id=f"unfix-refactor-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=worker,
+        racy_variable="pageCursor",
+        fix_strategy="refactor",
+        difficulty=Difficulty.COMPLEX,
+        description="a package-level cursor threaded through nested goroutines and channels; fixing it requires restructuring the pipeline",
+        expected_unfixed_reason=UnfixedReason.LARGE_REFACTORING,
+        test_function=f"Test{fetch}",
+        seed=seed,
+    )

@@ -1,0 +1,29 @@
+"""Embedding and vector-store substrate.
+
+Stands in for the paper's all-MiniLM-L6-v2 sentence transformer and ChromaDB:
+
+* :mod:`repro.embedding.tokenizer` — code-aware tokenization (identifiers are
+  split on camelCase/snake_case so business naming becomes diffuse while
+  concurrency vocabulary stays crisp);
+* :mod:`repro.embedding.embedder` — a deterministic feature-hashing
+  bag-of-tokens embedder (d = 384 by default) with extra weight on
+  concurrency tokens and token bigrams;
+* :mod:`repro.embedding.similarity` — cosine similarity helpers;
+* :mod:`repro.embedding.vector_store` — an exact-nearest-neighbour vector
+  store with metadata, JSON persistence, and a ChromaDB-like query API.
+"""
+
+from repro.embedding.tokenizer import tokenize_code
+from repro.embedding.embedder import CodeEmbedder, EmbedderConfig
+from repro.embedding.similarity import cosine_similarity
+from repro.embedding.vector_store import VectorStore, StoredItem, QueryResult
+
+__all__ = [
+    "tokenize_code",
+    "CodeEmbedder",
+    "EmbedderConfig",
+    "cosine_similarity",
+    "VectorStore",
+    "StoredItem",
+    "QueryResult",
+]

@@ -1,0 +1,43 @@
+"""Similarity functions for retrieval (cosine, plus helpers used in tests)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors; zero vectors have similarity 0."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))
+
+
+def cosine_similarity_matrix(query: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Cosine similarity of ``query`` against every row of ``matrix``."""
+    query = np.asarray(query, dtype=np.float64)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.size == 0:
+        return np.zeros(0)
+    query_norm = np.linalg.norm(query)
+    row_norms = np.linalg.norm(matrix, axis=1)
+    denominator = query_norm * row_norms
+    scores = matrix @ query
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(denominator > 0, scores / denominator, 0.0)
+    return scores
+
+
+def top_k(scores: Sequence[float], k: int) -> list[int]:
+    """Indices of the ``k`` highest scores, best first."""
+    array = np.asarray(scores, dtype=np.float64)
+    if array.size == 0 or k <= 0:
+        return []
+    k = min(k, array.size)
+    indices = np.argpartition(-array, k - 1)[:k]
+    return sorted(indices.tolist(), key=lambda i: -array[i])

@@ -1,0 +1,66 @@
+"""Code-aware tokenization for embedding.
+
+Identifiers are split on camelCase, PascalCase, snake_case, and digits so that
+``uuidDefectRateMap`` contributes the diffuse tokens ``uuid defect rate map``
+while concurrency vocabulary (``sync``, ``go``, ``chan``, ``Lock`` ...) stays
+crisp.  Operators that carry concurrency meaning (``<-``, ``:=``) are kept as
+tokens of their own.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_OPERATOR_TOKENS = ["<-", ":=", "++", "--", "&&", "||"]
+_CAMEL_SPLIT_RE = re.compile(
+    r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])|_|(?<=[A-Za-z])(?=[0-9])|(?<=[0-9])(?=[A-Za-z])"
+)
+
+#: Tokens that signal concurrency structure; the embedder up-weights them.
+CONCURRENCY_TOKENS = {
+    "go", "chan", "select", "sync", "atomic", "mutex", "rwmutex", "waitgroup",
+    "lock", "unlock", "rlock", "runlock", "wait", "add", "done", "once",
+    "parallel", "range", "map", "store", "load", "delete", "racyvar",
+    "<-", "defer", "close", "channel", "goroutine",
+}
+
+
+def split_identifier(identifier: str) -> List[str]:
+    """Split an identifier into lower-cased word pieces.
+
+    >>> split_identifier("uuidDefectRateMap")
+    ['uuid', 'defect', 'rate', 'map']
+    >>> split_identifier("racyVar1")
+    ['racy', 'var', '1']
+    """
+    pieces = [p for p in _CAMEL_SPLIT_RE.split(identifier) if p]
+    return [p.lower() for p in pieces]
+
+
+def tokenize_code(text: str, split_identifiers: bool = True) -> List[str]:
+    """Tokenize source text (or a skeleton) into embedding tokens."""
+    tokens: List[str] = []
+    for operator in _OPERATOR_TOKENS:
+        count = text.count(operator)
+        tokens.extend([operator] * count)
+    for match in _IDENTIFIER_RE.finditer(text):
+        word = match.group(0)
+        lowered = word.lower()
+        if lowered.startswith("racyvar"):
+            # Collapse racyVar1/racyVar2/... into a single strong signal token.
+            tokens.append("racyvar")
+            continue
+        if split_identifiers:
+            pieces = split_identifier(word)
+            if len(pieces) > 1:
+                tokens.extend(pieces)
+                continue
+        tokens.append(lowered)
+    return tokens
+
+
+def bigrams(tokens: List[str]) -> List[str]:
+    """Adjacent token bigrams (adds a little structural context to the bag)."""
+    return [f"{a}__{b}" for a, b in zip(tokens, tokens[1:])]

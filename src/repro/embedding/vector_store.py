@@ -1,0 +1,179 @@
+"""An in-memory exact-nearest-neighbour vector store (ChromaDB substitute).
+
+The store keeps ``(id, vector, document, metadata)`` tuples, answers cosine
+nearest-neighbour queries, and can persist itself to / load itself from a JSON
+file so the example database survives across runs (the paper notes populating
+the database is a one-time activity refreshed periodically).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RetrievalError
+from repro.embedding.similarity import cosine_similarity_matrix, top_k
+
+
+@dataclass
+class StoredItem:
+    """One entry of the vector store."""
+
+    item_id: str
+    vector: np.ndarray
+    document: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class QueryResult:
+    """One nearest-neighbour match."""
+
+    item: StoredItem
+    score: float
+
+    @property
+    def item_id(self) -> str:
+        return self.item.item_id
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        return self.item.metadata
+
+    @property
+    def document(self) -> str:
+        return self.item.document
+
+
+class VectorStore:
+    """Exact cosine-similarity vector store."""
+
+    def __init__(self, dimensions: int):
+        if dimensions <= 0:
+            raise RetrievalError("vector store dimensionality must be positive")
+        self.dimensions = dimensions
+        self._items: List[StoredItem] = []
+        self._matrix: Optional[np.ndarray] = None
+        self._ids: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._ids
+
+    def items(self) -> List[StoredItem]:
+        return list(self._items)
+
+    def get(self, item_id: str) -> Optional[StoredItem]:
+        index = self._ids.get(item_id)
+        if index is None:
+            return None
+        return self._items[index]
+
+    # ------------------------------------------------------------------
+
+    def add(
+        self,
+        item_id: str,
+        vector: Sequence[float] | np.ndarray,
+        document: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> StoredItem:
+        """Add or replace an entry."""
+        array = np.asarray(vector, dtype=np.float64)
+        if array.shape != (self.dimensions,):
+            raise RetrievalError(
+                f"vector has shape {array.shape}, expected ({self.dimensions},)"
+            )
+        item = StoredItem(item_id=item_id, vector=array, document=document,
+                          metadata=dict(metadata or {}))
+        existing = self._ids.get(item_id)
+        if existing is not None:
+            self._items[existing] = item
+        else:
+            self._ids[item_id] = len(self._items)
+            self._items.append(item)
+        self._matrix = None
+        return item
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            if self._items:
+                self._matrix = np.vstack([item.vector for item in self._items])
+            else:
+                self._matrix = np.zeros((0, self.dimensions))
+        return self._matrix
+
+    def query(
+        self,
+        vector: Sequence[float] | np.ndarray,
+        k: int = 1,
+        where: Optional[Dict[str, Any]] = None,
+    ) -> List[QueryResult]:
+        """Return the ``k`` nearest entries by cosine similarity.
+
+        ``where`` filters on exact metadata equality (a small subset of
+        ChromaDB's filtering API, sufficient for the pipeline and tests).
+        """
+        array = np.asarray(vector, dtype=np.float64)
+        if array.shape != (self.dimensions,):
+            raise RetrievalError(
+                f"query vector has shape {array.shape}, expected ({self.dimensions},)"
+            )
+        candidates = list(range(len(self._items)))
+        if where:
+            candidates = [
+                index
+                for index in candidates
+                if all(self._items[index].metadata.get(key) == value for key, value in where.items())
+            ]
+        if not candidates:
+            return []
+        matrix = self._ensure_matrix()[candidates]
+        scores = cosine_similarity_matrix(array, matrix)
+        best = top_k(scores, k)
+        return [
+            QueryResult(item=self._items[candidates[index]], score=float(scores[index]))
+            for index in best
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the store to a JSON file."""
+        payload = {
+            "dimensions": self.dimensions,
+            "items": [
+                {
+                    "id": item.item_id,
+                    "vector": item.vector.tolist(),
+                    "document": item.document,
+                    "metadata": item.metadata,
+                }
+                for item in self._items
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VectorStore":
+        """Load a store previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        store = cls(dimensions=int(payload["dimensions"]))
+        for entry in payload["items"]:
+            store.add(
+                item_id=entry["id"],
+                vector=entry["vector"],
+                document=entry.get("document", ""),
+                metadata=entry.get("metadata", {}),
+            )
+        return store

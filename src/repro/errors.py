@@ -1,0 +1,71 @@
+"""Shared exception hierarchy for the Dr.Fix reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GoSyntaxError(ReproError):
+    """Raised by the Go-subset lexer/parser on malformed input.
+
+    Attributes
+    ----------
+    filename:
+        Name of the file being parsed (best effort, may be ``"<source>"``).
+    line, column:
+        1-based source position of the offending token.
+    """
+
+    def __init__(self, message: str, filename: str = "<source>", line: int = 0, column: int = 0):
+        super().__init__(f"{filename}:{line}:{column}: {message}")
+        self.filename = filename
+        self.line = line
+        self.column = column
+        self.message = message
+
+
+class GoRuntimeError(ReproError):
+    """Raised by the interpreter for runtime failures (panics, nil deref, ...)."""
+
+    def __init__(self, message: str, goroutine_id: int | None = None):
+        super().__init__(message)
+        self.message = message
+        self.goroutine_id = goroutine_id
+
+
+class GoPanic(GoRuntimeError):
+    """A Go ``panic`` that escaped to the top of a goroutine."""
+
+
+class DeadlockError(GoRuntimeError):
+    """Raised when every live goroutine is blocked (global deadlock)."""
+
+
+class ValidationError(ReproError):
+    """Raised by the fix validator when a candidate patch cannot be assessed."""
+
+
+class PatchError(ReproError):
+    """Raised when a model response cannot be applied to the codebase."""
+
+
+class RetrievalError(ReproError):
+    """Raised by the vector store / embedding layer on invalid queries."""
+
+
+class CorpusError(ReproError):
+    """Raised by the corpus generator for invalid template parameters."""
+
+
+class LLMError(ReproError):
+    """Raised by an LLM client when a completion cannot be produced."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid Dr.Fix configuration values."""

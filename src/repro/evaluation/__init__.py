@@ -1,0 +1,23 @@
+"""Evaluation harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.evaluation.metrics`    — fix rates, category breakdowns, percentiles;
+* :mod:`repro.evaluation.runner`     — run the pipeline over an evaluation split;
+* :mod:`repro.evaluation.ablation`   — the RQ2/RQ3 ablation arms (Figures 3-4, LCA, models);
+* :mod:`repro.evaluation.survey`     — the RQ4 developer-survey table;
+* :mod:`repro.evaluation.experiments`— one function per table/figure;
+* :mod:`repro.evaluation.reporting`  — plain-text/markdown table rendering.
+"""
+
+from repro.evaluation.metrics import FixRate, percentile
+from repro.evaluation.runner import CaseResult, EvaluationRunner, ExperimentContext
+from repro.evaluation.reporting import Table, format_table
+
+__all__ = [
+    "FixRate",
+    "percentile",
+    "CaseResult",
+    "EvaluationRunner",
+    "ExperimentContext",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,97 @@
+"""Evaluation metrics: fix rates, category histograms, percentiles."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass
+class FixRate:
+    """A count of fixed races out of attempted races."""
+
+    fixed: int = 0
+    total: int = 0
+    label: str = ""
+
+    @property
+    def rate(self) -> float:
+        return self.fixed / self.total if self.total else 0.0
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.rate
+
+    def __str__(self) -> str:
+        return f"{self.fixed}/{self.total} ({self.percent:.1f}%)"
+
+
+@dataclass
+class RateComparison:
+    """Paper value vs measured value for one experiment arm."""
+
+    label: str
+    paper_percent: float
+    measured: FixRate
+
+    @property
+    def delta(self) -> float:
+        return self.measured.percent - self.paper_percent
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) using linear interpolation.
+
+    Matches the convention of Table 7 (P50/P75/P90/P95/P99/P100).
+    """
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if q <= 0:
+        return float(data[0])
+    if q >= 100:
+        return float(data[-1])
+    rank = (q / 100.0) * (len(data) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(data[low])
+    weight = rank - low
+    return float(data[low] * (1 - weight) + data[high] * weight)
+
+
+TABLE7_PERCENTILES = (50, 75, 90, 95, 99, 100)
+
+
+@dataclass
+class Histogram:
+    """A labelled counter with percentage accessors."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, label: str, amount: int = 1) -> None:
+        self.counts[label] = self.counts.get(label, 0) + amount
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, label: str) -> float:
+        return self.counts.get(label, 0) / self.total if self.total else 0.0
+
+    def sorted_items(self) -> List[tuple[str, int]]:
+        return sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def mean(values: Iterable[float]) -> float:
+    data = list(values)
+    return sum(data) / len(data) if data else 0.0
+
+
+def stddev(values: Iterable[float]) -> float:
+    data = list(values)
+    if len(data) < 2:
+        return 0.0
+    center = mean(data)
+    return math.sqrt(sum((v - center) ** 2 for v in data) / (len(data) - 1))

@@ -1,0 +1,74 @@
+"""Plain-text and Markdown table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Table:
+    """A rendered experiment result: what the paper reported vs what we measured."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_reference: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        return format_table(self)
+
+    def render_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        if self.paper_reference:
+            lines.append(f"*Reproduces {self.paper_reference}.*")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"_{note}_")
+        return "\n".join(lines) + "\n"
+
+
+def format_table(table: Table) -> str:
+    """Render a table with aligned columns (monospace friendly)."""
+    widths = [len(header) for header in table.headers]
+    for row in table.rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [
+            str(cell).ljust(widths[index]) for index, cell in enumerate(cells)
+        ]
+        return "  " + " | ".join(padded)
+
+    lines = [table.title]
+    if table.paper_reference:
+        lines.append(f"  (reproduces {table.paper_reference})")
+    lines.append(render_row(table.headers))
+    lines.append("  " + "-+-".join("-" * width for width in widths))
+    for row in table.rows:
+        lines.append(render_row(row))
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_report(tables: Sequence[Table], title: str = "Dr.Fix reproduction report") -> str:
+    """Render several tables into one report document."""
+    parts = [title, "=" * len(title), ""]
+    for table in tables:
+        parts.append(table.render())
+        parts.append("")
+    return "\n".join(parts)

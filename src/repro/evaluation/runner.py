@@ -1,0 +1,147 @@
+"""Run the Dr.Fix pipeline over an evaluation split and collect per-case results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import DrFixConfig
+from repro.core.database import ExampleDatabase
+from repro.core.pipeline import DrFix, FixOutcome
+from repro.core.review import ReviewDecision, ReviewerModel
+from repro.corpus.dataset import Dataset
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.ground_truth import RaceCase
+from repro.evaluation.metrics import FixRate
+
+
+@dataclass
+class CaseResult:
+    """The pipeline's outcome for one evaluation case."""
+
+    case: RaceCase
+    outcome: FixOutcome
+    review: Optional[ReviewDecision] = None
+    reproduced: bool = True
+
+    @property
+    def fixed(self) -> bool:
+        return self.outcome.fixed
+
+    @property
+    def accepted(self) -> bool:
+        return self.fixed and self.review is not None and self.review.accepted
+
+
+@dataclass
+class EvaluationRun:
+    """All case results for one configuration arm."""
+
+    label: str
+    config: DrFixConfig
+    results: List[CaseResult] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    def fix_rate(self) -> FixRate:
+        return FixRate(
+            fixed=sum(1 for r in self.results if r.fixed),
+            total=len(self.results),
+            label=self.label,
+        )
+
+    def acceptance_rate(self) -> FixRate:
+        fixed = [r for r in self.results if r.fixed]
+        return FixRate(
+            fixed=sum(1 for r in fixed if r.accepted),
+            total=len(fixed),
+            label=f"{self.label} (accepted)",
+        )
+
+    def fixed_results(self) -> List[CaseResult]:
+        return [r for r in self.results if r.fixed]
+
+    def unfixed_results(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.fixed]
+
+
+class EvaluationRunner:
+    """Run one configuration over a list of cases."""
+
+    def __init__(self, config: DrFixConfig, database: Optional[ExampleDatabase],
+                 reviewer: Optional[ReviewerModel] = None):
+        self.config = config
+        self.database = database
+        self.reviewer = reviewer if reviewer is not None else ReviewerModel()
+
+    def run(self, cases: Sequence[RaceCase], label: str = "") -> EvaluationRun:
+        start = time.time()
+        run = EvaluationRun(label=label or self.config.model, config=self.config)
+        for case in cases:
+            pipeline = DrFix(case.package, config=self.config, database=self.database)
+            outcome = pipeline.fix_case(case)
+            review = None
+            if outcome.fixed:
+                review = self.reviewer.review(case, outcome.strategy, outcome.lines_changed)
+            run.results.append(
+                CaseResult(
+                    case=case,
+                    outcome=outcome,
+                    review=review,
+                    reproduced=bool(outcome.bug_hash),
+                )
+            )
+        run.duration_seconds = time.time() - start
+        return run
+
+
+class ExperimentContext:
+    """Shared state for the experiment suite: one corpus, several configurations.
+
+    The context builds the corpus and both example databases (skeleton-keyed
+    and raw-text-keyed) once, then lets individual experiments run whichever
+    configuration arms they need; runs are cached by label so Table 3, RQ1, and
+    the ablations can share the same underlying full-configuration run.
+    """
+
+    def __init__(
+        self,
+        corpus_config: Optional[CorpusConfig] = None,
+        base_config: Optional[DrFixConfig] = None,
+    ):
+        self.corpus_config = corpus_config if corpus_config is not None else CorpusConfig()
+        self.base_config = (base_config or DrFixConfig(model="gpt-4o")).validated()
+        self.dataset: Dataset = CorpusGenerator(self.corpus_config).generate()
+        self.skeleton_database = ExampleDatabase.from_cases(
+            self.dataset.db_examples, self.base_config
+        )
+        self.raw_database = ExampleDatabase.from_cases(
+            self.dataset.db_examples, self.base_config.with_raw_retrieval()
+        )
+        self.reviewer = ReviewerModel()
+        self._runs: Dict[str, EvaluationRun] = {}
+
+    # ------------------------------------------------------------------
+
+    def database_for(self, config: DrFixConfig) -> Optional[ExampleDatabase]:
+        if not config.use_rag:
+            return None
+        return self.skeleton_database if config.use_skeleton else self.raw_database
+
+    def run_arm(self, label: str, config: DrFixConfig,
+                cases: Optional[Sequence[RaceCase]] = None) -> EvaluationRun:
+        """Run (or reuse) one configuration arm over the evaluation split."""
+        if label in self._runs:
+            return self._runs[label]
+        runner = EvaluationRunner(config, self.database_for(config), self.reviewer)
+        run = runner.run(cases if cases is not None else self.dataset.evaluation, label=label)
+        self._runs[label] = run
+        return run
+
+    def full_run(self) -> EvaluationRun:
+        """The production-like arm: RAG with skeletons, all locations and scopes."""
+        return self.run_arm("full", self.base_config)
+
+    def deployment_run(self) -> EvaluationRun:
+        """The RQ1 arm: the GPT-4-Turbo deployment configuration."""
+        return self.run_arm("deployment", self.base_config.with_model("gpt-4-turbo"))

@@ -1,0 +1,440 @@
+"""Pretty printer: AST → gofmt-like Go source text.
+
+The printer is used in three places:
+
+* rendering candidate patches back to source before validation,
+* rendering concurrency skeletons (Section 4.3 of the paper),
+* round-trip testing of the parser.
+
+Output is deterministic, tab-indented, and parses back to an equivalent AST
+(`parse(print(parse(src)))` is a fixed point — the property tests rely on it).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.golang import ast_nodes as ast
+
+_INDENT = "\t"
+
+
+class Printer:
+    """Stateful source writer."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._indent = 0
+
+    # ------------------------------------------------------------------
+    # Output helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append(f"{_INDENT * self._indent}{text}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Files and declarations
+    # ------------------------------------------------------------------
+
+    def print_file(self, file: ast.File) -> str:
+        self._emit(f"package {file.package}")
+        self._emit("")
+        if file.imports:
+            if len(file.imports) == 1 and file.imports[0].name is None:
+                self._emit(f'import "{file.imports[0].path}"')
+            else:
+                self._emit("import (")
+                self._indent += 1
+                for spec in file.imports:
+                    prefix = f"{spec.name} " if spec.name else ""
+                    self._emit(f'{prefix}"{spec.path}"')
+                self._indent -= 1
+                self._emit(")")
+            self._emit("")
+        for index, decl in enumerate(file.decls):
+            self.print_decl(decl)
+            if index != len(file.decls) - 1:
+                self._emit("")
+        return self.text()
+
+    def print_decl(self, decl: ast.Decl) -> None:
+        if isinstance(decl, ast.FuncDecl):
+            self._print_func_decl(decl)
+        elif isinstance(decl, ast.GenDecl):
+            self._print_gen_decl(decl)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot print declaration of type {type(decl).__name__}")
+
+    def _print_func_decl(self, decl: ast.FuncDecl) -> None:
+        recv = ""
+        if decl.recv is not None:
+            recv = f"({self._field(decl.recv)}) "
+        signature = self._signature(decl.type_)
+        if decl.body is None:
+            self._emit(f"func {recv}{decl.name}{signature}")
+            return
+        self._emit(f"func {recv}{decl.name}{signature} {{")
+        self._print_block_body(decl.body)
+        self._emit("}")
+
+    def _print_gen_decl(self, decl: ast.GenDecl) -> None:
+        if decl.tok == "import":
+            specs = [s for s in decl.specs if isinstance(s, ast.ImportSpec)]
+            if len(specs) == 1 and specs[0].name is None:
+                self._emit(f'import "{specs[0].path}"')
+            else:
+                self._emit("import (")
+                self._indent += 1
+                for spec in specs:
+                    prefix = f"{spec.name} " if spec.name else ""
+                    self._emit(f'{prefix}"{spec.path}"')
+                self._indent -= 1
+                self._emit(")")
+            return
+        if len(decl.specs) == 1:
+            self._emit(f"{decl.tok} {self._spec(decl.specs[0])}")
+            # Struct/interface types need their bodies expanded over multiple lines.
+            return
+        self._emit(f"{decl.tok} (")
+        self._indent += 1
+        for spec in decl.specs:
+            self._emit(self._spec(spec))
+        self._indent -= 1
+        self._emit(")")
+
+    def _spec(self, spec: ast.Node) -> str:
+        if isinstance(spec, ast.ValueSpec):
+            parts = [", ".join(spec.names)]
+            if spec.type_ is not None:
+                parts.append(self.expr(spec.type_))
+            text = " ".join(parts)
+            if spec.values:
+                text += " = " + ", ".join(self.expr(v) for v in spec.values)
+            return text
+        if isinstance(spec, ast.TypeSpec):
+            return f"{spec.name} {self.expr(spec.type_)}"
+        if isinstance(spec, ast.ImportSpec):
+            prefix = f"{spec.name} " if spec.name else ""
+            return f'{prefix}"{spec.path}"'
+        raise TypeError(f"cannot print spec of type {type(spec).__name__}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _print_block_body(self, block: ast.BlockStmt) -> None:
+        self._indent += 1
+        for stmt in block.stmts:
+            self.print_stmt(stmt)
+        self._indent -= 1
+
+    def print_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.ExprStmt):
+            self._emit(self.expr(stmt.x))
+        elif isinstance(stmt, ast.AssignStmt):
+            lhs = ", ".join(self.expr(e) for e in stmt.lhs)
+            rhs = ", ".join(self.expr(e) for e in stmt.rhs)
+            self._emit(f"{lhs} {stmt.tok} {rhs}")
+        elif isinstance(stmt, ast.SendStmt):
+            self._emit(f"{self.expr(stmt.chan)} <- {self.expr(stmt.value)}")
+        elif isinstance(stmt, ast.IncDecStmt):
+            self._emit(f"{self.expr(stmt.x)}{stmt.op}")
+        elif isinstance(stmt, ast.DeclStmt):
+            self._print_gen_decl(stmt.decl)
+        elif isinstance(stmt, ast.GoStmt):
+            self._print_prefixed_call("go", stmt.call)
+        elif isinstance(stmt, ast.DeferStmt):
+            self._print_prefixed_call("defer", stmt.call)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.results:
+                self._emit("return " + ", ".join(self.expr(e) for e in stmt.results))
+            else:
+                self._emit("return")
+        elif isinstance(stmt, ast.BranchStmt):
+            text = stmt.tok
+            if stmt.label:
+                text += f" {stmt.label}"
+            self._emit(text)
+        elif isinstance(stmt, ast.BlockStmt):
+            self._emit("{")
+            self._print_block_body(stmt)
+            self._emit("}")
+        elif isinstance(stmt, ast.IfStmt):
+            self._print_if(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._print_for(stmt)
+        elif isinstance(stmt, ast.RangeStmt):
+            self._print_range(stmt)
+        elif isinstance(stmt, ast.SwitchStmt):
+            self._print_switch(stmt)
+        elif isinstance(stmt, ast.SelectStmt):
+            self._print_select(stmt)
+        elif isinstance(stmt, ast.LabeledStmt):
+            self._emit(f"{stmt.label}:")
+            self.print_stmt(stmt.stmt)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot print statement of type {type(stmt).__name__}")
+
+    def _print_prefixed_call(self, keyword: str, call: ast.CallExpr) -> None:
+        """Print ``go``/``defer`` statements; multi-line closures get expanded."""
+        if isinstance(call.fun, ast.FuncLit):
+            header = f"{keyword} func{self._signature(call.fun.type_)} {{"
+            self._emit(header)
+            self._print_block_body(call.fun.body)
+            args = ", ".join(self.expr(a) for a in call.args)
+            suffix = "..." if call.ellipsis else ""
+            self._emit(f"}}({args}{suffix})")
+        else:
+            self._emit(f"{keyword} {self.expr(call)}")
+
+    def _simple_stmt_inline(self, stmt: ast.Stmt) -> str:
+        """Render a simple statement on one line (if/for/switch headers)."""
+        if isinstance(stmt, ast.AssignStmt):
+            lhs = ", ".join(self.expr(e) for e in stmt.lhs)
+            rhs = ", ".join(self.expr(e) for e in stmt.rhs)
+            return f"{lhs} {stmt.tok} {rhs}"
+        if isinstance(stmt, ast.ExprStmt):
+            return self.expr(stmt.x)
+        if isinstance(stmt, ast.IncDecStmt):
+            return f"{self.expr(stmt.x)}{stmt.op}"
+        if isinstance(stmt, ast.SendStmt):
+            return f"{self.expr(stmt.chan)} <- {self.expr(stmt.value)}"
+        if isinstance(stmt, ast.DeclStmt) and len(stmt.decl.specs) == 1:
+            return f"{stmt.decl.tok} {self._spec(stmt.decl.specs[0])}"
+        raise TypeError(  # pragma: no cover - defensive
+            f"cannot inline statement of type {type(stmt).__name__}"
+        )
+
+    def _print_if(self, stmt: ast.IfStmt) -> None:
+        header = "if "
+        if stmt.init is not None:
+            header += self._simple_stmt_inline(stmt.init) + "; "
+        header += self.expr(stmt.cond) + " {"
+        self._emit(header)
+        self._print_block_body(stmt.body)
+        node: ast.Stmt | None = stmt.else_
+        if node is None:
+            self._emit("}")
+            return
+        if isinstance(node, ast.IfStmt):
+            # `} else if ...` chains are flattened textually.
+            self._emit("} else " + self._if_header(node))
+            self._print_block_body(node.body)
+            while isinstance(node.else_, ast.IfStmt):
+                node = node.else_
+                self._emit("} else " + self._if_header(node))
+                self._print_block_body(node.body)
+            if isinstance(node.else_, ast.BlockStmt):
+                self._emit("} else {")
+                self._print_block_body(node.else_)
+            self._emit("}")
+        else:
+            self._emit("} else {")
+            self._print_block_body(node)
+            self._emit("}")
+
+    def _if_header(self, stmt: ast.IfStmt) -> str:
+        header = "if "
+        if stmt.init is not None:
+            header += self._simple_stmt_inline(stmt.init) + "; "
+        return header + self.expr(stmt.cond) + " {"
+
+    def _print_for(self, stmt: ast.ForStmt) -> None:
+        if stmt.init is None and stmt.cond is None and stmt.post is None:
+            self._emit("for {")
+        elif stmt.init is None and stmt.post is None and stmt.cond is not None:
+            self._emit(f"for {self.expr(stmt.cond)} {{")
+        else:
+            init = self._simple_stmt_inline(stmt.init) if stmt.init is not None else ""
+            cond = self.expr(stmt.cond) if stmt.cond is not None else ""
+            post = self._simple_stmt_inline(stmt.post) if stmt.post is not None else ""
+            self._emit(f"for {init}; {cond}; {post} {{")
+        self._print_block_body(stmt.body)
+        self._emit("}")
+
+    def _print_range(self, stmt: ast.RangeStmt) -> None:
+        if stmt.key is None and stmt.value is None:
+            self._emit(f"for range {self.expr(stmt.x)} {{")
+        else:
+            vars_text = self.expr(stmt.key) if stmt.key is not None else "_"
+            if stmt.value is not None:
+                vars_text += f", {self.expr(stmt.value)}"
+            self._emit(f"for {vars_text} {stmt.tok} range {self.expr(stmt.x)} {{")
+        self._print_block_body(stmt.body)
+        self._emit("}")
+
+    def _print_switch(self, stmt: ast.SwitchStmt) -> None:
+        header = "switch "
+        if stmt.init is not None:
+            header += self._simple_stmt_inline(stmt.init) + "; "
+        if stmt.tag is not None:
+            header += self.expr(stmt.tag) + " "
+        self._emit(header.rstrip() + " {")
+        for case in stmt.cases:
+            if case.exprs:
+                self._emit("case " + ", ".join(self.expr(e) for e in case.exprs) + ":")
+            else:
+                self._emit("default:")
+            self._indent += 1
+            for inner in case.body:
+                self.print_stmt(inner)
+            self._indent -= 1
+        self._emit("}")
+
+    def _print_select(self, stmt: ast.SelectStmt) -> None:
+        self._emit("select {")
+        for case in stmt.cases:
+            if case.comm is not None:
+                self._emit("case " + self._simple_stmt_inline(case.comm) + ":")
+            else:
+                self._emit("default:")
+            self._indent += 1
+            for inner in case.body:
+                self.print_stmt(inner)
+            self._indent -= 1
+        self._emit("}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def expr(self, node: ast.Expr | None) -> str:
+        if node is None:
+            return ""
+        if isinstance(node, ast.Ident):
+            return node.name
+        if isinstance(node, ast.BasicLit):
+            if node.kind == "STRING":
+                return '"' + _escape_string(node.value) + '"'
+            if node.kind == "CHAR":
+                return "'" + _escape_string(node.value) + "'"
+            return node.value
+        if isinstance(node, ast.SelectorExpr):
+            return f"{self.expr(node.x)}.{node.sel}"
+        if isinstance(node, ast.IndexExpr):
+            return f"{self.expr(node.x)}[{self.expr(node.index)}]"
+        if isinstance(node, ast.SliceExpr):
+            return f"{self.expr(node.x)}[{self.expr(node.low)}:{self.expr(node.high)}]"
+        if isinstance(node, ast.CallExpr):
+            args = ", ".join(self.expr(a) for a in node.args)
+            suffix = "..." if node.ellipsis else ""
+            return f"{self.expr(node.fun)}({args}{suffix})"
+        if isinstance(node, ast.UnaryExpr):
+            space = " " if node.op == "<-" and False else ""
+            return f"{node.op}{space}{self.expr(node.x)}"
+        if isinstance(node, ast.StarExpr):
+            return f"*{self.expr(node.x)}"
+        if isinstance(node, ast.BinaryExpr):
+            return f"{self.expr(node.x)} {node.op} {self.expr(node.y)}"
+        if isinstance(node, ast.ParenExpr):
+            return f"({self.expr(node.x)})"
+        if isinstance(node, ast.TypeAssertExpr):
+            inner = self.expr(node.type_) if node.type_ is not None else "type"
+            return f"{self.expr(node.x)}.({inner})"
+        if isinstance(node, ast.KeyValueExpr):
+            return f"{self.expr(node.key)}: {self.expr(node.value)}"
+        if isinstance(node, ast.CompositeLit):
+            type_text = self.expr(node.type_) if node.type_ is not None else ""
+            elts = ", ".join(self.expr(e) for e in node.elts)
+            return f"{type_text}{{{elts}}}"
+        if isinstance(node, ast.FuncLit):
+            return self._func_lit(node)
+        if isinstance(node, ast.ArrayType):
+            length = self.expr(node.length) if node.length is not None else ""
+            return f"[{length}]{self.expr(node.elt)}"
+        if isinstance(node, ast.MapType):
+            return f"map[{self.expr(node.key)}]{self.expr(node.value)}"
+        if isinstance(node, ast.ChanType):
+            return f"chan {self.expr(node.value)}"
+        if isinstance(node, ast.StructType):
+            return self._struct_type(node)
+        if isinstance(node, ast.InterfaceType):
+            if not node.methods:
+                return "interface{}"
+            methods = "; ".join(self._field(m) for m in node.methods)
+            return f"interface{{ {methods} }}"
+        if isinstance(node, ast.FuncType):
+            return "func" + self._signature(node)
+        if isinstance(node, ast.Ellipsis):
+            return "..." + (self.expr(node.elt) if node.elt is not None else "")
+        raise TypeError(f"cannot print expression of type {type(node).__name__}")  # pragma: no cover
+
+    def _func_lit(self, node: ast.FuncLit) -> str:
+        """Render a closure.  Multi-line bodies are expanded with the current
+        indentation so that closures inside assignments stay readable."""
+        header = "func" + self._signature(node.type_) + " {"
+        sub = Printer()
+        sub._indent = self._indent + 1
+        for stmt in node.body.stmts:
+            sub.print_stmt(stmt)
+        body_lines = sub._lines
+        if not body_lines:
+            return "func" + self._signature(node.type_) + " {}"
+        closing = f"{_INDENT * self._indent}}}"
+        return header + "\n" + "\n".join(body_lines) + "\n" + closing
+
+    def _struct_type(self, node: ast.StructType) -> str:
+        if not node.fields:
+            return "struct{}"
+        lines = ["struct {"]
+        for field in node.fields:
+            lines.append(f"{_INDENT * (self._indent + 1)}{self._field(field)}")
+        lines.append(f"{_INDENT * self._indent}}}")
+        return "\n".join(lines)
+
+    def _field(self, field: ast.Field) -> str:
+        type_text = self.expr(field.type_)
+        if field.variadic:
+            type_text = "..." + type_text
+        if field.names:
+            return f"{', '.join(field.names)} {type_text}"
+        return type_text
+
+    def _signature(self, type_: ast.FuncType) -> str:
+        params = ", ".join(self._field(f) for f in type_.params)
+        text = f"({params})"
+        if not type_.results:
+            return text
+        if len(type_.results) == 1 and not type_.results[0].names:
+            return f"{text} {self._field(type_.results[0])}"
+        results = ", ".join(self._field(f) for f in type_.results)
+        return f"{text} ({results})"
+
+
+def _escape_string(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+        .replace("\r", "\\r")
+    )
+
+
+def print_file(file: ast.File) -> str:
+    """Render a full file to Go source text."""
+    return Printer().print_file(file)
+
+
+def print_node(node: ast.Node) -> str:
+    """Render a single declaration, statement, or expression to source text."""
+    printer = Printer()
+    if isinstance(node, ast.File):
+        return printer.print_file(node)
+    if isinstance(node, ast.Decl):
+        printer.print_decl(node)
+        return printer.text().rstrip("\n")
+    if isinstance(node, ast.Stmt):
+        printer.print_stmt(node)
+        return printer.text().rstrip("\n")
+    if isinstance(node, ast.Expr):
+        return printer.expr(node)
+    if isinstance(node, ast.Field):
+        return printer._field(node)
+    raise TypeError(f"cannot print node of type {type(node).__name__}")

@@ -1,0 +1,38 @@
+"""LLM substrate: the generative model Dr.Fix orchestrates.
+
+Because this reproduction runs offline, the OpenAI models of the paper are
+replaced by :class:`~repro.llm.simulated.SimulatedLLM`: a model that parses the
+exact prompt Dr.Fix constructs (Appendix E format), chooses a concurrency fix
+*strategy*, applies it as a real AST transformation, and returns the entire
+revised code — never seeing the ground truth.  Model *profiles* (gpt-4-turbo,
+gpt-4o, o1-preview, and a weak open-source stand-in) differ in
+
+* which strategies they can select without guidance (their "inherent
+  capability", the paper's 47% no-RAG baseline),
+* which strategies they can apply when the retrieved example demonstrates the
+  pattern (the RAG uplift to 66%),
+* how much large contexts degrade them (the function-vs-file scope ablation),
+* how well they exploit validation-failure feedback (the retry ablation).
+
+The orchestration layer talks to the model through the
+:class:`~repro.llm.base.LLMClient` protocol, so a real API-backed client can be
+swapped in without touching the pipeline.
+"""
+
+from repro.llm.base import ChatMessage, LLMClient, ModelResponse
+from repro.llm.prompt_parser import FixTask, parse_fix_prompt
+from repro.llm.simulated import MODEL_PROFILES, ModelProfile, SimulatedLLM
+from repro.llm.strategies import STRATEGY_REGISTRY, infer_strategy_from_example
+
+__all__ = [
+    "ChatMessage",
+    "LLMClient",
+    "ModelResponse",
+    "FixTask",
+    "parse_fix_prompt",
+    "SimulatedLLM",
+    "ModelProfile",
+    "MODEL_PROFILES",
+    "STRATEGY_REGISTRY",
+    "infer_strategy_from_example",
+]

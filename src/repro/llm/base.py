@@ -1,0 +1,45 @@
+"""Model-facing interfaces: chat messages, responses, and the client protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One chat message, mirroring the OpenAI chat format used in Appendix E."""
+
+    role: str  # "system" | "user" | "assistant"
+    content: str
+
+
+@dataclass
+class ModelResponse:
+    """The model's reply plus bookkeeping the evaluation inspects."""
+
+    content: str
+    model: str = ""
+    #: Which fix strategy the (simulated) model applied, if any.
+    strategy: str = ""
+    #: True when the model used the retrieved example to pick the strategy.
+    guided_by_example: bool = False
+    #: True when the model reports it could not produce a meaningful change.
+    refused: bool = False
+    #: Free-form diagnostics (used by tests and the failure analysis).
+    notes: List[str] = field(default_factory=list)
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """What the Dr.Fix orchestration needs from a model.
+
+    A production deployment would implement this with an API-backed client;
+    the reproduction provides :class:`repro.llm.simulated.SimulatedLLM`.
+    """
+
+    name: str
+
+    def complete(self, messages: List[ChatMessage]) -> ModelResponse:
+        """Produce a completion for a chat prompt."""
+        ...  # pragma: no cover - protocol definition

@@ -1,0 +1,94 @@
+"""Recover a structured fix task from the Dr.Fix prompt text.
+
+The simulated model receives exactly what a real model would receive: the
+prompt that :mod:`repro.core.prompts` builds (Appendix E format).  This module
+parses that text back into a :class:`FixTask` — the target code, the race
+description (variable, lines, functions), the retrieved example pair, and any
+validation-failure feedback — without any side channel to the ground truth.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_CODE_RE = re.compile(r"<code>\n?(?P<code>.*?)\n?</code>", re.DOTALL)
+_EXAMPLE_RE = re.compile(
+    r"Example (?P<index>\d+) \(Code with data race\):\n```go\n(?P<buggy>.*?)\n```\n"
+    r"Example (?P=index) \(Code after fixing data race\):\n```go\n(?P<fixed>.*?)\n```",
+    re.DOTALL,
+)
+_VARIABLE_RE = re.compile(r"shared variable `(?P<name>[^`]+)`")
+_LINES_RE = re.compile(r"line (?P<line>\d+)")
+_FUNCTIONS_RE = re.compile(r"racing functions are: (?P<names>[^\n]+)")
+_FEEDBACK_RE = re.compile(
+    r"Previous attempt feedback:\n```\n(?P<feedback>.*?)\n```", re.DOTALL
+)
+_SCOPE_RE = re.compile(r"fix the data race in the golang (?P<scope>function|file)")
+_FILE_RE = re.compile(r"The code is from file `(?P<file>[^`]+)`")
+
+
+@dataclass
+class FixTask:
+    """Everything the model knows about one fix attempt."""
+
+    code: str = ""
+    scope: str = "function"  # "function" | "file"
+    file_name: str = ""
+    racy_variable: str = ""
+    racy_lines: List[int] = field(default_factory=list)
+    racy_functions: List[str] = field(default_factory=list)
+    example: Optional[Tuple[str, str]] = None
+    feedback: str = ""
+
+    @property
+    def has_example(self) -> bool:
+        return self.example is not None and bool(self.example[0].strip())
+
+    @property
+    def code_lines(self) -> int:
+        return len(self.code.splitlines())
+
+
+def parse_fix_prompt(system: str, user: str) -> FixTask:
+    """Parse the (system, user) prompt pair into a :class:`FixTask`.
+
+    Unknown or missing sections degrade gracefully to empty fields so the model
+    behaves sensibly even on malformed prompts (it simply has less to go on).
+    """
+    del system  # The system prompt carries instructions, not task data.
+    task = FixTask()
+    # The prompt's instructions mention "<code> </code>" inline; the real code
+    # block is the last (and largest) occurrence.
+    code_match = None
+    for candidate in _CODE_RE.finditer(user):
+        if code_match is None or len(candidate.group("code")) > len(code_match.group("code")):
+            code_match = candidate
+    if code_match:
+        task.code = code_match.group("code")
+    scope_match = _SCOPE_RE.search(user)
+    if scope_match:
+        task.scope = "file" if scope_match.group("scope") == "file" else "function"
+    file_match = _FILE_RE.search(user)
+    if file_match:
+        task.file_name = file_match.group("file")
+    # Only consider the descriptive part (before the <code> block) for the race
+    # description so variable names inside the code do not confuse parsing.
+    description = user[: code_match.start()] if code_match else user
+    variable_match = _VARIABLE_RE.search(description)
+    if variable_match:
+        task.racy_variable = variable_match.group("name")
+    task.racy_lines = [int(m.group("line")) for m in _LINES_RE.finditer(description)]
+    functions_match = _FUNCTIONS_RE.search(description)
+    if functions_match:
+        task.racy_functions = [
+            name.strip() for name in functions_match.group("names").split(",") if name.strip()
+        ]
+    example_match = _EXAMPLE_RE.search(user)
+    if example_match:
+        task.example = (example_match.group("buggy"), example_match.group("fixed"))
+    feedback_match = _FEEDBACK_RE.search(user)
+    if feedback_match:
+        task.feedback = feedback_match.group("feedback").strip()
+    return task

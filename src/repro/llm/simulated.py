@@ -1,0 +1,254 @@
+"""The simulated LLM and its model profiles.
+
+The simulated model behaves like the models the paper orchestrates, at the
+level the evaluation measures:
+
+* it reads only the prompt (no ground-truth side channel);
+* without an example it can apply the widely-known idioms (its *base*
+  strategies — the 47% "inherent capability" of Section 4.4);
+* a retrieved example whose structure demonstrates a repair pattern unlocks
+  that pattern (*guided* strategies — the RAG uplift);
+* long, noisy contexts degrade it ("lost in the middle", Section 5.3's
+  function-vs-file ablation); validation-failure feedback re-anchors it;
+* everything is deterministic: stochastic effects are driven by a stable hash
+  of (code, model, attempt), not a global RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.llm.base import ChatMessage, ModelResponse
+from repro.llm.prompt_parser import FixTask, parse_fix_prompt
+from repro.llm.strategies import (
+    infer_strategy_from_example,
+    ordered_strategies,
+    parse_scope,
+)
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Capability profile of one underlying model."""
+
+    name: str
+    #: Strategies the model applies from its own training (no example needed).
+    base_strategies: frozenset[str]
+    #: Strategies the model can follow when a retrieved example demonstrates them.
+    guided_strategies: frozenset[str]
+    #: Lines of irrelevant context the model tolerates before degrading.
+    context_capacity: int
+    #: Fraction of context-induced failures eliminated by failure feedback.
+    feedback_discipline: float
+    #: Probability of correctly imitating a demonstrated complex pattern.
+    guided_reliability: float
+
+    def allowed_strategies(self, demonstrated: Optional[str]) -> Set[str]:
+        allowed = set(self.base_strategies)
+        if demonstrated and demonstrated in (self.guided_strategies | self.base_strategies):
+            allowed.add(demonstrated)
+        return allowed
+
+
+_ALL_STRATEGIES = frozenset(
+    {
+        "redeclare",
+        "loop_var_copy",
+        "privatize_local_copy",
+        "move_wg_add",
+        "rand_per_request",
+        "mutex_guard",
+        "complete_locking",
+        "sync_map_convert",
+        "channel_error",
+        "struct_copy",
+        "parallel_test_isolation",
+    }
+)
+
+#: Profiles for the models used in the paper plus a weak open-source stand-in
+#: (Section 5.6 notes open-source models were unpromising).
+MODEL_PROFILES: Dict[str, ModelProfile] = {
+    "gpt-4-turbo": ModelProfile(
+        name="gpt-4-turbo",
+        base_strategies=frozenset(
+            {"redeclare", "loop_var_copy", "privatize_local_copy", "move_wg_add",
+             "rand_per_request"}
+        ),
+        guided_strategies=_ALL_STRATEGIES,
+        context_capacity=95,
+        feedback_discipline=0.70,
+        guided_reliability=0.85,
+    ),
+    "gpt-4o": ModelProfile(
+        name="gpt-4o",
+        base_strategies=frozenset(
+            {"redeclare", "loop_var_copy", "privatize_local_copy", "move_wg_add",
+             "rand_per_request", "mutex_guard"}
+        ),
+        guided_strategies=_ALL_STRATEGIES,
+        context_capacity=115,
+        feedback_discipline=0.78,
+        guided_reliability=0.90,
+    ),
+    "o1-preview": ModelProfile(
+        name="o1-preview",
+        base_strategies=frozenset(
+            {"redeclare", "loop_var_copy", "privatize_local_copy", "move_wg_add",
+             "rand_per_request", "mutex_guard", "struct_copy", "channel_error",
+             "complete_locking", "parallel_test_isolation"}
+        ),
+        guided_strategies=_ALL_STRATEGIES,
+        context_capacity=170,
+        feedback_discipline=0.88,
+        guided_reliability=0.95,
+    ),
+    "oss-code-llama": ModelProfile(
+        name="oss-code-llama",
+        base_strategies=frozenset({"redeclare", "loop_var_copy"}),
+        guided_strategies=frozenset(
+            {"privatize_local_copy", "move_wg_add", "mutex_guard", "rand_per_request"}
+        ),
+        context_capacity=55,
+        feedback_discipline=0.4,
+        guided_reliability=0.6,
+    ),
+}
+
+
+def _stable_unit_draw(*parts: str) -> float:
+    """A deterministic pseudo-random number in [0, 1) derived from ``parts``."""
+    digest = hashlib.blake2b("||".join(parts).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") / 2 ** 64
+
+
+@dataclass
+class SimulatedLLM:
+    """An :class:`~repro.llm.base.LLMClient` backed by the strategy library."""
+
+    profile: ModelProfile = field(default_factory=lambda: MODEL_PROFILES["gpt-4o"])
+    #: Identifier mixed into deterministic draws so repeated attempts differ.
+    attempt_salt: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # ------------------------------------------------------------------
+
+    def complete(self, messages: List[ChatMessage]) -> ModelResponse:
+        system = next((m.content for m in messages if m.role == "system"), "")
+        user = next((m.content for m in messages if m.role == "user"), "")
+        task = parse_fix_prompt(system, user)
+        return self.fix(task)
+
+    def fix(self, task: FixTask) -> ModelResponse:
+        """Attempt to produce a fixed version of ``task.code``."""
+        scope = parse_scope(task.code)
+        if scope is None or not task.code.strip():
+            return ModelResponse(content=task.code, model=self.name, refused=True,
+                                 notes=["could not parse the provided code"])
+
+        demonstrated = None
+        if task.has_example:
+            demonstrated = infer_strategy_from_example(task.example[0], task.example[1])
+        allowed = self.profile.allowed_strategies(demonstrated)
+
+        # Context-length degradation: with too much irrelevant code and no
+        # anchoring feedback, the model fails to localize the defect.
+        distraction = self._distraction_probability(task)
+        if distraction > 0:
+            draw = _stable_unit_draw(task.code, self.name, task.scope, task.feedback,
+                                     "distraction")
+            if draw < distraction:
+                return ModelResponse(
+                    content=task.code,
+                    model=self.name,
+                    refused=True,
+                    notes=[
+                        f"context of {task.code_lines} lines exceeded reliable capacity; "
+                        "fix applied to the wrong region"
+                    ],
+                )
+
+        # Prefer the demonstrated strategy, then the remaining allowed ones.
+        strategies = ordered_strategies(allowed)
+        if demonstrated and demonstrated in allowed:
+            strategies.sort(key=lambda s: 0 if s.name == demonstrated else 1)
+        for strategy in strategies:
+            plan = strategy.detect(task, scope)
+            if plan is None:
+                continue
+            guided = demonstrated == strategy.name and strategy.name not in self.profile.base_strategies
+            if guided:
+                draw = _stable_unit_draw(task.code, self.name, strategy.name,
+                                         "imitation")
+                if draw > self.profile.guided_reliability:
+                    continue  # failed to imitate the demonstrated pattern
+            revised = strategy.apply(task, scope, plan)
+            if revised is None or revised.strip() == task.code.strip():
+                continue
+            return ModelResponse(
+                content=revised,
+                model=self.name,
+                strategy=strategy.name,
+                guided_by_example=guided,
+                notes=[f"applied {strategy.name}"],
+            )
+        return ModelResponse(
+            content=task.code,
+            model=self.name,
+            refused=True,
+            notes=["no applicable repair pattern found"],
+        )
+
+    # ------------------------------------------------------------------
+
+    def _distraction_probability(self, task: FixTask) -> float:
+        relevant = self._relevant_lines(task)
+        noise = max(0, task.code_lines - relevant)
+        probability = min(0.9, noise / max(1, self.profile.context_capacity))
+        if task.feedback:
+            probability *= 1.0 - self.profile.feedback_discipline
+        return probability
+
+    def _relevant_lines(self, task: FixTask) -> int:
+        if task.scope == "function":
+            return task.code_lines
+        if not task.racy_functions:
+            return min(30, task.code_lines)
+        # Report frames use qualified names ("Type.Method", "Parent.func1");
+        # anchor on the plain declaration names.
+        names: Set[str] = set()
+        for qualified in task.racy_functions:
+            for part in qualified.split("."):
+                if part and not part.startswith("func"):
+                    names.add(part)
+            names.add(qualified.split(".")[0])
+        lines = task.code.splitlines()
+        relevant = 0
+        inside = False
+        depth = 0
+        for line in lines:
+            if not inside:
+                if any(f"func {name}(" in line or f") {name}(" in line for name in names):
+                    inside = True
+                    depth = line.count("{") - line.count("}")
+                    relevant += 1
+            else:
+                relevant += 1
+                depth += line.count("{") - line.count("}")
+                if depth <= 0:
+                    inside = False
+        return max(relevant, 10)
+
+
+def make_client(model_name: str, attempt_salt: str = "") -> SimulatedLLM:
+    """Construct a simulated client for a named model profile."""
+    profile = MODEL_PROFILES.get(model_name)
+    if profile is None:
+        raise KeyError(f"unknown model profile: {model_name!r} "
+                       f"(available: {sorted(MODEL_PROFILES)})")
+    return SimulatedLLM(profile=profile, attempt_salt=attempt_salt)

@@ -1,0 +1,322 @@
+"""Single-function fix strategies: redeclaration, privatization, loop-variable
+copies, ``wg.Add`` placement, and per-request ``rand.Source`` creation."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.golang import ast_nodes as ast
+from repro.llm.prompt_parser import FixTask
+from repro.llm.strategies.base import FixStrategy, ScopeCode, StrategyPlan
+
+
+class RedeclareStrategy(FixStrategy):
+    """Listing 1 → Listing 2: re-declare the captured variable inside the goroutine.
+
+    Applies when a goroutine closure assigns (with ``=``) to a variable captured
+    from the enclosing function and the closure does not need the enclosing
+    value: making the assignment a fresh ``:=`` declaration removes the sharing.
+    """
+
+    name = "redeclare"
+
+    def detect(self, task: FixTask, scope: ScopeCode) -> Optional[StrategyPlan]:
+        target = task.racy_variable
+        for func in self.functions(scope):
+            for _, closure in self.go_closures(func):
+                candidates = self._candidate_vars(func, closure, target)
+                for name in candidates:
+                    assigns = self.closure_assigns(closure, name)
+                    simple = [a for a in assigns if all(isinstance(t, ast.Ident) for t in a.lhs)]
+                    if simple and not self._read_before_assign(closure, name, simple[0]):
+                        return StrategyPlan(
+                            strategy=self.name,
+                            data={"function": func.name, "variable": name},
+                        )
+        return None
+
+    def apply(self, task: FixTask, scope: ScopeCode, plan: StrategyPlan) -> Optional[str]:
+        clone = self.clone_scope(scope)
+        name = plan.data["variable"]
+        for func in self.functions(clone):
+            if func.name != plan.data["function"]:
+                continue
+            for _, closure in self.go_closures(func):
+                assigns = self.closure_assigns(closure, name)
+                simple = [a for a in assigns if all(isinstance(t, ast.Ident) for t in a.lhs)]
+                if simple:
+                    simple[0].tok = ":="
+                    return clone.render()
+        return None
+
+    def _candidate_vars(self, func: ast.FuncDecl, closure: ast.FuncLit,
+                        target: str) -> List[str]:
+        names: List[str] = []
+        if target and self.declared_in_function(func, target) \
+                and self.closure_assigns(closure, target):
+            names.append(target)
+        if not names:
+            for node in ast.walk(closure.body):
+                if isinstance(node, ast.AssignStmt) and node.tok != ":=":
+                    for expr in node.lhs:
+                        if isinstance(expr, ast.Ident) and self.declared_in_function(func, expr.name):
+                            names.append(expr.name)
+        return names
+
+    def _read_before_assign(self, closure: ast.FuncLit, name: str,
+                            assign: ast.AssignStmt) -> bool:
+        """True when the closure reads the captured value before (re)assigning it —
+        re-declaring would then change behaviour, so the strategy declines."""
+        for node in ast.walk(closure.body):
+            if node is assign:
+                return False
+            if isinstance(node, ast.Ident) and node.name == name:
+                return True
+        return False
+
+
+class LoopVarCopyStrategy(FixStrategy):
+    """Listing 11: privatize a range variable captured by goroutines (``x := x``)."""
+
+    name = "loop_var_copy"
+
+    def detect(self, task: FixTask, scope: ScopeCode) -> Optional[StrategyPlan]:
+        target = task.racy_variable
+        for func in self.functions(scope):
+            for node in ast.walk(func.body):
+                if not isinstance(node, ast.RangeStmt):
+                    continue
+                loop_vars = [
+                    expr.name
+                    for expr in (node.key, node.value)
+                    if isinstance(expr, ast.Ident) and expr.name != "_"
+                ]
+                if not loop_vars:
+                    continue
+                captured = self._captured_loop_vars(node, loop_vars)
+                if not captured:
+                    continue
+                variable = target if target in captured else captured[0]
+                return StrategyPlan(
+                    strategy=self.name,
+                    data={"function": func.name, "variable": variable},
+                )
+        return None
+
+    def apply(self, task: FixTask, scope: ScopeCode, plan: StrategyPlan) -> Optional[str]:
+        clone = self.clone_scope(scope)
+        variable = plan.data["variable"]
+        for func in self.functions(clone):
+            if func.name != plan.data["function"]:
+                continue
+            for node in ast.walk(func.body):
+                if isinstance(node, ast.RangeStmt) and self._captured_loop_vars(
+                    node, [variable]
+                ):
+                    already = any(
+                        isinstance(stmt, ast.AssignStmt)
+                        and stmt.tok == ":="
+                        and len(stmt.lhs) == 1
+                        and isinstance(stmt.lhs[0], ast.Ident)
+                        and stmt.lhs[0].name == variable
+                        for stmt in node.body.stmts
+                    )
+                    if not already:
+                        copy_stmt = ast.AssignStmt(
+                            lhs=[ast.ident(variable)], tok=":=", rhs=[ast.ident(variable)]
+                        )
+                        node.body.stmts.insert(0, copy_stmt)
+                    return clone.render()
+        return None
+
+    def _captured_loop_vars(self, node: ast.RangeStmt, loop_vars: List[str]) -> List[str]:
+        captured: List[str] = []
+        for inner in ast.walk(node.body):
+            if isinstance(inner, ast.GoStmt) and isinstance(inner.call.fun, ast.FuncLit):
+                closure = inner.call.fun
+                params = {name for field in closure.type_.params for name in field.names}
+                arg_names = {
+                    arg.name for arg in inner.call.args if isinstance(arg, ast.Ident)
+                }
+                for name in loop_vars:
+                    if name in params or name in arg_names:
+                        continue  # already passed as a parameter
+                    if self.references_name(closure.body, name):
+                        captured.append(name)
+        return captured
+
+
+class PrivatizeLocalCopyStrategy(FixStrategy):
+    """Listing 5 / Listing 14: give each goroutine its own copy of the shared value."""
+
+    name = "privatize_local_copy"
+
+    def detect(self, task: FixTask, scope: ScopeCode) -> Optional[StrategyPlan]:
+        target = task.racy_variable
+        for func in self.functions(scope):
+            closures = self.go_closures(func)
+            if not closures:
+                continue
+            candidates = self._candidates(func, closures, target)
+            if candidates:
+                return StrategyPlan(
+                    strategy=self.name,
+                    data={"function": func.name, "variable": candidates[0]},
+                )
+        return None
+
+    def _candidates(self, func, closures, target: str) -> List[str]:
+        names: List[str] = []
+        writable: List[str] = []
+        for _, closure in closures:
+            for node in ast.walk(closure.body):
+                if isinstance(node, ast.AssignStmt) and node.tok != ":=":
+                    for expr in node.lhs:
+                        base = ast.base_name(expr)
+                        if base and self.declared_in_function(func, base):
+                            writable.append(base)
+        for name in writable:
+            shared_readers = 0
+            for _, closure in closures:
+                if self.references_name(closure.body, name):
+                    shared_readers += 1
+            if shared_readers >= 1 and name not in names:
+                names.append(name)
+        if target:
+            # The reported racy name may be a struct field; map it back to the
+            # captured variable whose field is written.
+            for name in writable:
+                if name == target and name not in names:
+                    names.insert(0, name)
+            for _, closure in closures:
+                for node in ast.walk(closure.body):
+                    if isinstance(node, ast.SelectorExpr) and node.sel == target:
+                        base = ast.base_name(node)
+                        if base and self.declared_in_function(func, base) and base not in names:
+                            names.insert(0, base)
+        return names
+
+    def apply(self, task: FixTask, scope: ScopeCode, plan: StrategyPlan) -> Optional[str]:
+        clone = self.clone_scope(scope)
+        variable = plan.data["variable"]
+        local_name = "local" + variable[:1].upper() + variable[1:]
+        changed = False
+        for func in self.functions(clone):
+            if func.name != plan.data["function"]:
+                continue
+            for _, closure in self.go_closures(func):
+                if not self.references_name(closure.body, variable):
+                    continue
+                self.rename_in_node(closure.body, variable, local_name)
+                copy_stmt = ast.AssignStmt(
+                    lhs=[ast.ident(local_name)], tok=":=", rhs=[ast.ident(variable)]
+                )
+                insert_at = 0
+                for index, stmt in enumerate(closure.body.stmts):
+                    if isinstance(stmt, ast.DeferStmt):
+                        insert_at = index + 1
+                    else:
+                        break
+                closure.body.stmts.insert(insert_at, copy_stmt)
+                changed = True
+        return clone.render() if changed else None
+
+
+class MoveWaitGroupAddStrategy(FixStrategy):
+    """Listing 6: move ``wg.Add`` from inside the goroutine to before the ``go``."""
+
+    name = "move_wg_add"
+
+    def detect(self, task: FixTask, scope: ScopeCode) -> Optional[StrategyPlan]:
+        for func in self.functions(scope):
+            for go_stmt, closure in self.go_closures(func):
+                add_stmt = self._find_add(closure)
+                if add_stmt is not None:
+                    return StrategyPlan(
+                        strategy=self.name, data={"function": func.name}
+                    )
+        return None
+
+    def apply(self, task: FixTask, scope: ScopeCode, plan: StrategyPlan) -> Optional[str]:
+        clone = self.clone_scope(scope)
+        changed = False
+        for func in self.functions(clone):
+            if func.name != plan.data["function"]:
+                continue
+            for go_stmt, closure in self.go_closures(func):
+                add_stmt = self._find_add(closure)
+                if add_stmt is None:
+                    continue
+                closure.body.stmts = [s for s in closure.body.stmts if s is not add_stmt]
+                if self._insert_before(func.body, go_stmt, add_stmt):
+                    changed = True
+        return clone.render() if changed else None
+
+    def _find_add(self, closure: ast.FuncLit) -> Optional[ast.ExprStmt]:
+        for stmt in closure.body.stmts:
+            if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.x, ast.CallExpr):
+                fun = stmt.x.fun
+                if isinstance(fun, ast.SelectorExpr) and fun.sel == "Add":
+                    return stmt
+        return None
+
+    def _insert_before(self, block: ast.BlockStmt, target: ast.Stmt,
+                       new_stmt: ast.Stmt) -> bool:
+        for container in ast.walk(block):
+            if isinstance(container, ast.BlockStmt) and target in container.stmts:
+                index = container.stmts.index(target)
+                container.stmts.insert(index, new_stmt)
+                return True
+        return False
+
+
+class RandPerRequestStrategy(FixStrategy):
+    """Listing 12: create a fresh ``rand.Source`` per request instead of sharing one."""
+
+    name = "rand_per_request"
+
+    def detect(self, task: FixTask, scope: ScopeCode) -> Optional[StrategyPlan]:
+        for func in self.functions(scope):
+            for node in ast.walk(func.body):
+                if isinstance(node, ast.CallExpr) and self._is_rand_new(node):
+                    arg = node.args[0] if node.args else None
+                    if isinstance(arg, ast.Ident) and not self.declared_in_function(func, arg.name):
+                        return StrategyPlan(
+                            strategy=self.name,
+                            data={"function": func.name, "source": arg.name},
+                        )
+        return None
+
+    def apply(self, task: FixTask, scope: ScopeCode, plan: StrategyPlan) -> Optional[str]:
+        clone = self.clone_scope(scope)
+        seed = self._global_seed(clone, plan.data["source"])
+        changed = False
+        for func in self.functions(clone):
+            if func.name != plan.data["function"]:
+                continue
+            for node in ast.walk(func.body):
+                if isinstance(node, ast.CallExpr) and self._is_rand_new(node):
+                    arg = node.args[0] if node.args else None
+                    if isinstance(arg, ast.Ident) and arg.name == plan.data["source"]:
+                        node.args[0] = ast.call("rand.NewSource", ast.int_lit(seed))
+                        changed = True
+        return clone.render() if changed else None
+
+    def _is_rand_new(self, call: ast.CallExpr) -> bool:
+        fun = call.fun
+        return (
+            isinstance(fun, ast.SelectorExpr)
+            and fun.sel == "New"
+            and isinstance(fun.x, ast.Ident)
+            and fun.x.name == "rand"
+        )
+
+    def _global_seed(self, scope: ScopeCode, source_name: str) -> int:
+        for decl in scope.file.decls:
+            if isinstance(decl, ast.GenDecl) and decl.tok == "var":
+                for spec in decl.specs:
+                    if isinstance(spec, ast.ValueSpec) and source_name in spec.names and spec.values:
+                        for node in ast.walk(spec.values[0]):
+                            if isinstance(node, ast.BasicLit) and node.kind == "INT":
+                                return int(node.value)
+        return 1

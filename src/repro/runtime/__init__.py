@@ -1,0 +1,40 @@
+"""Execution substrate for the Go subset: interpreter, scheduler, race detector.
+
+This package stands in for ``go test -race`` (the Go toolchain plus the
+ThreadSanitizer runtime) in the Dr.Fix pipeline.  It provides:
+
+* :mod:`repro.runtime.values` / :mod:`repro.runtime.memory` — runtime values and
+  shared-memory cells with per-location access metadata,
+* :mod:`repro.runtime.vector_clock` / :mod:`repro.runtime.race_detector` — a
+  FastTrack-style happens-before race detector,
+* :mod:`repro.runtime.scheduler` / :mod:`repro.runtime.goroutine` — a seeded
+  cooperative scheduler that explores interleavings,
+* :mod:`repro.runtime.channels` / :mod:`repro.runtime.sync_primitives` — channels,
+  ``select``, ``sync.Mutex``/``RWMutex``/``WaitGroup``/``Map``/``Once`` and
+  ``sync/atomic``,
+* :mod:`repro.runtime.interpreter` — a tree-walking interpreter whose evaluation
+  is expressed as coroutines so the scheduler can interleave goroutines at
+  memory and synchronization operations,
+* :mod:`repro.runtime.race_report` — ThreadSanitizer-format race reports
+  (rendering and parsing) plus the stable bug hash used by the validator,
+* :mod:`repro.runtime.harness` — a ``go test``-style harness that discovers
+  ``TestXxx`` functions, runs them repeatedly under the detector, and collects
+  reports.
+"""
+
+from repro.runtime.race_report import RaceReport, StackFrame
+from repro.runtime.harness import GoTestHarness, PackageRunResult, run_package_tests
+from repro.runtime.interpreter import Interpreter, ProgramResult
+from repro.runtime.scheduler import Scheduler, SchedulerPolicy
+
+__all__ = [
+    "RaceReport",
+    "StackFrame",
+    "GoTestHarness",
+    "PackageRunResult",
+    "run_package_tests",
+    "Interpreter",
+    "ProgramResult",
+    "Scheduler",
+    "SchedulerPolicy",
+]

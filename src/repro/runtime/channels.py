@@ -1,0 +1,75 @@
+"""Runtime channel objects and the happens-before edges they induce."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+from repro.errors import GoPanic
+from repro.runtime.vector_clock import SyncVar
+
+
+@dataclass
+class Channel:
+    """A Go channel.
+
+    Unbuffered channels are modelled with capacity one (the send → receive
+    happens-before edge is preserved; only the rendezvous back-pressure is
+    relaxed, see DESIGN.md).  ``sync`` carries the channel's vector clock so
+    that a value received always happens-after the send that produced it and
+    after ``close``.
+    """
+
+    capacity: int = 1
+    name: str = "chan"
+    buffer: List[Any] = field(default_factory=list)
+    closed: bool = False
+    sync: SyncVar = field(default_factory=SyncVar)
+    #: Number of values ever sent/received; used by tests and diagnostics.
+    sent_count: int = 0
+    received_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            self.capacity = 1
+
+    # -- send ---------------------------------------------------------------------------
+
+    def can_send(self) -> bool:
+        return self.closed or len(self.buffer) < self.capacity
+
+    def send(self, value: Any) -> None:
+        """Enqueue ``value``.  The caller must have checked :meth:`can_send`
+        and must perform the detector's release edge."""
+        if self.closed:
+            raise GoPanic("send on closed channel")
+        self.buffer.append(value)
+        self.sent_count += 1
+
+    # -- receive ------------------------------------------------------------------------
+
+    def can_recv(self) -> bool:
+        return bool(self.buffer) or self.closed
+
+    def recv(self) -> Tuple[Any, bool]:
+        """Dequeue a value; returns ``(value, ok)`` like ``v, ok := <-ch``."""
+        if self.buffer:
+            self.received_count += 1
+            return self.buffer.pop(0), True
+        if self.closed:
+            return None, False
+        raise AssertionError("recv called on a channel that is not ready")
+
+    # -- close --------------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            raise GoPanic("close of closed channel")
+        self.closed = True
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def describe(self) -> str:
+        state = "closed" if self.closed else f"{len(self.buffer)}/{self.capacity}"
+        return f"chan {self.name} [{state}]"

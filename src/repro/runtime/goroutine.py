@@ -1,0 +1,83 @@
+"""Goroutine bookkeeping for the cooperative scheduler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+StackFrameTuple = Tuple[str, str, int]  # (function, file, line)
+
+
+class GoroutineState(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Frame:
+    """An interpreter call-stack frame."""
+
+    func_name: str
+    file: str
+    line: int = 0
+    deferred: List[Any] = field(default_factory=list)
+
+    def snapshot(self) -> StackFrameTuple:
+        return (self.func_name, self.file, self.line)
+
+
+@dataclass
+class SchedulePoint:
+    """A value yielded by interpreter coroutines to the scheduler.
+
+    ``kind`` is ``"step"`` for a plain preemption point or ``"block"`` when the
+    goroutine cannot make progress; in the latter case ``predicate`` tells the
+    scheduler when the goroutine becomes runnable again and ``reason`` is used
+    for deadlock diagnostics.
+    """
+
+    kind: str = "step"
+    predicate: Optional[Callable[[], bool]] = None
+    reason: str = ""
+
+
+STEP = SchedulePoint(kind="step")
+
+
+def blocked(predicate: Callable[[], bool], reason: str) -> SchedulePoint:
+    return SchedulePoint(kind="block", predicate=predicate, reason=reason)
+
+
+@dataclass
+class Goroutine:
+    """One logical Go thread of execution."""
+
+    gid: int
+    name: str = "main"
+    parent_gid: Optional[int] = None
+    creation_stack: Tuple[StackFrameTuple, ...] = ()
+    state: GoroutineState = GoroutineState.RUNNABLE
+    generator: Optional[Generator[SchedulePoint, None, Any]] = None
+    stack: List[Frame] = field(default_factory=list)
+    block_point: Optional[SchedulePoint] = None
+    failure: Optional[BaseException] = None
+    result: Any = None
+    steps: int = 0
+
+    def stack_snapshot(self, leaf_line: int | None = None) -> Tuple[StackFrameTuple, ...]:
+        """Return the current call stack, leaf frame first."""
+        frames = [frame.snapshot() for frame in reversed(self.stack)]
+        if frames and leaf_line:
+            func, file, _ = frames[0]
+            frames[0] = (func, file, leaf_line)
+        return tuple(frames)
+
+    @property
+    def is_live(self) -> bool:
+        return self.state in (GoroutineState.RUNNABLE, GoroutineState.BLOCKED)
+
+    def describe(self) -> str:
+        return f"goroutine {self.gid} [{self.name}] ({self.state.value})"

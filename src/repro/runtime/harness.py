@@ -1,0 +1,375 @@
+"""A ``go test -race``-style harness over the interpreter.
+
+The harness owns the pieces Dr.Fix's validator needs (Section 4.4.1):
+
+* **build** — parse every file of the package; syntax errors become build
+  failures fed back to the model;
+* **test discovery** — every top-level ``TestXxx`` function is a test;
+* **testing.T** — ``t.Run`` / ``t.Parallel`` follow Go's semantics: a parallel
+  subtest pauses until its parent test function returns, then all parallel
+  siblings run concurrently (this is what makes table-driven parallel tests
+  race on shared fixtures);
+* **repeat runs** — each run uses a different scheduler seed/policy, standing
+  in for the paper's "run the package tests 1000 times";
+* **race collection** — detector races are rendered as ThreadSanitizer-format
+  reports and deduplicated by stable bug hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.errors import DeadlockError, GoPanic, GoRuntimeError, GoSyntaxError
+from repro.golang import ast_nodes as ast
+from repro.golang.parser import parse_file
+from repro.runtime.goroutine import Goroutine, STEP, blocked
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.race_detector import RaceDetector
+from repro.runtime.race_report import RaceReport, merge_reports, report_from_race
+from repro.runtime.scheduler import Scheduler, SchedulerPolicy
+from repro.runtime.values import FuncValue
+
+
+# ---------------------------------------------------------------------------
+# Package model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GoFile:
+    """A named source file."""
+
+    name: str
+    source: str
+
+    def is_test_file(self) -> bool:
+        return self.name.endswith("_test.go")
+
+
+@dataclass
+class GoPackage:
+    """A set of Go files compiled and tested together."""
+
+    name: str
+    files: List[GoFile] = field(default_factory=list)
+
+    def file(self, name: str) -> Optional[GoFile]:
+        for file in self.files:
+            if file.name == name:
+                return file
+        return None
+
+    def replace_file(self, name: str, source: str) -> "GoPackage":
+        """Return a copy of the package with one file's contents replaced."""
+        files = [GoFile(f.name, source if f.name == name else f.source) for f in self.files]
+        return GoPackage(name=self.name, files=files)
+
+    def with_file(self, name: str, source: str) -> "GoPackage":
+        if self.file(name) is not None:
+            return self.replace_file(name, source)
+        files = list(self.files) + [GoFile(name, source)]
+        return GoPackage(name=self.name, files=files)
+
+    def total_lines(self) -> int:
+        return sum(len(f.source.splitlines()) for f in self.files)
+
+
+# ---------------------------------------------------------------------------
+# testing.T
+# ---------------------------------------------------------------------------
+
+
+class TestingT:
+    """A stand-in for ``*testing.T`` with Go-faithful Run/Parallel semantics."""
+
+    def __init__(self, name: str, parent: Optional["TestingT"] = None):
+        self.name = name
+        self.parent = parent
+        self.failed = False
+        self.messages: List[str] = []
+        self.parallel_requested = False
+        self.done = False
+        self.func_done = False
+        self.subtests: List["TestingT"] = []
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def all_finished(self) -> bool:
+        return all(sub.done for sub in self.subtests)
+
+    def mark_failed(self, message: str) -> None:
+        self.messages.append(message)
+        self.failed = True
+        parent = self.parent
+        while parent is not None:
+            parent.failed = True
+            parent = parent.parent
+
+    def collect_failures(self) -> List[str]:
+        failures = [f"{self.name}: {m}" for m in self.messages]
+        for sub in self.subtests:
+            failures.extend(sub.collect_failures())
+        return failures
+
+    # -- the method surface used by tests -------------------------------------------------
+
+    def go_call(self, interp: Interpreter, goroutine: Goroutine, name: str,
+                args: List[Any], node) -> Generator:
+        if name == "Run":
+            result = yield from self._run_subtest(interp, goroutine, args, node)
+            return result
+        if name == "Parallel":
+            yield from self._parallel(goroutine)
+            return None
+        if name in ("Errorf", "Error"):
+            if False:  # pragma: no cover
+                yield STEP
+            self.mark_failed(_render_message(args))
+            return None
+        if name in ("Fatalf", "Fatal", "FailNow"):
+            if False:  # pragma: no cover
+                yield STEP
+            self.mark_failed(_render_message(args))
+            raise GoPanic(f"test {self.name} failed: {_render_message(args)}")
+        if name in ("Logf", "Log"):
+            if False:  # pragma: no cover
+                yield STEP
+            interp.output.append(_render_message(args))
+            return None
+        if name in ("Helper", "Cleanup", "Skip", "Skipf", "SkipNow", "Setenv"):
+            if False:  # pragma: no cover
+                yield STEP
+            return None
+        if name == "Name":
+            if False:  # pragma: no cover
+                yield STEP
+            return self.name
+        if name == "Failed":
+            if False:  # pragma: no cover
+                yield STEP
+            return self.failed
+        raise GoRuntimeError(f"testing.T has no method {name}")
+
+    def _run_subtest(self, interp: Interpreter, goroutine: Goroutine, args: List[Any],
+                     node) -> Generator:
+        sub_name = str(args[0]) if args else f"{self.name}/sub{len(self.subtests)}"
+        func = args[1] if len(args) > 1 else None
+        sub = TestingT(name=f"{self.name}/{sub_name}", parent=self)
+        self.subtests.append(sub)
+        child = interp.new_goroutine(name=f"Test:{sub.name}", parent=goroutine)
+        interp.detector.on_fork(goroutine.gid, child.gid)
+
+        def body() -> Generator:
+            yield STEP
+            try:
+                yield from interp._invoke(child, func, [sub], node)
+            except GoPanic as exc:
+                sub.mark_failed(str(exc))
+            finally:
+                sub.done = True
+                sub.func_done = True
+
+        child.generator = body()
+        # Block until the subtest either finishes or asks to run in parallel.
+        yield blocked(lambda: sub.done or sub.parallel_requested,
+                      f"t.Run({sub.name}) waiting for subtest")
+        while not (sub.done or sub.parallel_requested):
+            yield blocked(lambda: sub.done or sub.parallel_requested,
+                          f"t.Run({sub.name}) waiting for subtest")
+        return not sub.failed
+
+    def _parallel(self, goroutine: Goroutine) -> Generator:
+        self.parallel_requested = True
+        parent = self.parent
+        if parent is None:
+            return
+        # The subtest pauses until the parent test function returns.
+        while not parent.func_done:
+            yield blocked(lambda: parent.func_done, f"{self.name} waiting for parallel start")
+        yield STEP
+
+
+def _render_message(args: List[Any]) -> str:
+    from repro.runtime.stdlib import _format
+    from repro.runtime.values import format_value
+
+    if not args:
+        return ""
+    first = args[0]
+    if isinstance(first, str) and "%" in first:
+        return _format(first, args[1:])
+    return " ".join(format_value(a) for a in args)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PackageRunResult:
+    """Aggregated outcome of running a package's tests N times under the detector."""
+
+    package: str = ""
+    reports: List[RaceReport] = field(default_factory=list)
+    build_errors: List[str] = field(default_factory=list)
+    test_failures: List[str] = field(default_factory=list)
+    output: List[str] = field(default_factory=list)
+    runs: int = 0
+    tests_discovered: int = 0
+
+    @property
+    def built(self) -> bool:
+        return not self.build_errors
+
+    @property
+    def passed(self) -> bool:
+        return self.built and not self.test_failures and not self.reports
+
+    def race_hashes(self) -> List[str]:
+        return [report.bug_hash() for report in self.reports]
+
+    def has_race(self, bug_hash: str) -> bool:
+        return bug_hash in self.race_hashes()
+
+    def summary(self) -> str:
+        if not self.built:
+            return "BUILD FAILED: " + "; ".join(self.build_errors[:3])
+        parts = [f"{self.tests_discovered} tests x {self.runs} runs"]
+        if self.reports:
+            parts.append(f"{len(self.reports)} data race(s)")
+        if self.test_failures:
+            parts.append(f"{len(self.test_failures)} failure(s)")
+        if self.passed:
+            parts.append("PASS")
+        return ", ".join(parts)
+
+
+class GoTestHarness:
+    """Build and repeatedly run one package's tests under the race detector."""
+
+    def __init__(
+        self,
+        package: GoPackage,
+        runs: int = 12,
+        seed: int = 0,
+        max_steps: int = 120_000,
+        policies: Sequence[SchedulerPolicy] = (
+            SchedulerPolicy.RANDOM,
+            SchedulerPolicy.NEWEST_FIRST,
+            SchedulerPolicy.OLDEST_FIRST,
+        ),
+    ):
+        self.package = package
+        self.runs = runs
+        self.seed = seed
+        self.max_steps = max_steps
+        self.policies = list(policies)
+
+    # -- build ---------------------------------------------------------------------------
+
+    def parse(self) -> tuple[List[ast.File], List[str]]:
+        files: List[ast.File] = []
+        errors: List[str] = []
+        for file in self.package.files:
+            try:
+                files.append(parse_file(file.source, file.name))
+            except GoSyntaxError as exc:
+                errors.append(str(exc))
+        return files, errors
+
+    @staticmethod
+    def discover_tests(files: Sequence[ast.File]) -> List[ast.FuncDecl]:
+        tests = []
+        for file in files:
+            for decl in file.func_decls():
+                if decl.name.startswith("Test") and decl.recv is None and decl.body is not None:
+                    tests.append(decl)
+        return tests
+
+    # -- running -------------------------------------------------------------------------
+
+    def run(self, entry_functions: Optional[Sequence[str]] = None) -> PackageRunResult:
+        result = PackageRunResult(package=self.package.name)
+        files, errors = self.parse()
+        if errors:
+            result.build_errors = errors
+            return result
+        tests = self.discover_tests(files)
+        result.tests_discovered = len(tests)
+        entries: List[str] = list(entry_functions) if entry_functions else []
+        if not tests and not entries:
+            # Nothing to exercise; treat as an empty, passing package.
+            return result
+        all_reports: List[RaceReport] = []
+        for run_index in range(self.runs):
+            policy = self.policies[run_index % len(self.policies)]
+            seed = self.seed + run_index * 7919
+            run_reports, failures, output = self._run_once(files, tests, entries, seed, policy)
+            all_reports.extend(run_reports)
+            for failure in failures:
+                if failure not in result.test_failures:
+                    result.test_failures.append(failure)
+            result.output.extend(output)
+            result.runs += 1
+        result.reports = merge_reports(all_reports)
+        return result
+
+    def _run_once(
+        self,
+        files: Sequence[ast.File],
+        tests: Sequence[ast.FuncDecl],
+        entries: Sequence[str],
+        seed: int,
+        policy: SchedulerPolicy,
+    ) -> tuple[List[RaceReport], List[str], List[str]]:
+        detector = RaceDetector()
+        scheduler = Scheduler(seed=seed, policy=policy, max_steps=self.max_steps)
+        interp = Interpreter(files, detector=detector, scheduler=scheduler)
+        failures: List[str] = []
+        roots: List[TestingT] = []
+
+        def body(main: Goroutine) -> Generator:
+            yield from interp.init_globals(main)
+            for name in entries:
+                decl = interp.funcs.get(name)
+                if decl is None:
+                    failures.append(f"undefined entry function: {name}")
+                    continue
+                try:
+                    yield from interp.call_function(main, FuncValue(decl=decl, name=name), [], None)
+                except GoPanic as exc:
+                    failures.append(f"{name}: {exc}")
+            for test_decl in tests:
+                t = TestingT(name=test_decl.name)
+                roots.append(t)
+                func_value = FuncValue(decl=test_decl, name=test_decl.name)
+                takes_t = bool(test_decl.type_.params)
+                try:
+                    yield from interp.call_function(main, func_value, [t] if takes_t else [], None)
+                except GoPanic as exc:
+                    t.mark_failed(str(exc))
+                t.func_done = True
+                # Parallel subtests resume now; wait for all of them.
+                while not t.all_finished():
+                    yield blocked(t.all_finished, f"waiting for parallel subtests of {t.name}")
+
+        program = interp.run_program(body, name="testmain")
+        failures.extend(program.failures)
+        for root in roots:
+            failures.extend(root.collect_failures())
+        reports = [report_from_race(r, package=self.package.name) for r in program.races]
+        return reports, failures, program.output
+
+
+def run_package_tests(
+    package: GoPackage,
+    runs: int = 12,
+    seed: int = 0,
+    entry_functions: Optional[Sequence[str]] = None,
+    max_steps: int = 120_000,
+) -> PackageRunResult:
+    """Convenience wrapper: build ``package`` and run its tests ``runs`` times."""
+    harness = GoTestHarness(package, runs=runs, seed=seed, max_steps=max_steps)
+    return harness.run(entry_functions=entry_functions)

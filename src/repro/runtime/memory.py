@@ -1,0 +1,94 @@
+"""Shared-memory cells and memory locations.
+
+Every mutable storage slot the interpreter can read or write — a local
+variable, a struct field, a map, a slice header, a slice element, a package-
+level variable — is backed by a :class:`Cell`.  Cells have stable integer
+addresses so race reports can print ThreadSanitizer-style ``0x...`` addresses,
+and they carry a human-readable description (variable name / field path) used
+both in reports and by the skeletonizer's notion of "racy variable".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_address_counter = itertools.count(0xC000000000, 0x10)
+
+
+def _next_address() -> int:
+    return next(_address_counter)
+
+
+@dataclass
+class Cell:
+    """A single addressable storage slot."""
+
+    value: Any = None
+    name: str = ""
+    address: int = field(default_factory=_next_address)
+    #: When True the cell belongs to an internally synchronized object
+    #: (e.g. ``sync.Map`` buckets) and accesses are never reported as races.
+    synchronized: bool = False
+
+    def describe(self) -> str:
+        return self.name or f"0x{self.address:012x}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cell({self.name!r}={self.value!r})"
+
+
+class Environment:
+    """A lexical environment mapping names to :class:`Cell` objects.
+
+    Closures share the parent environment's cells, which is exactly how Go's
+    capture-by-reference works and what produces the paper's dominant race
+    category.
+    """
+
+    __slots__ = ("parent", "cells")
+
+    def __init__(self, parent: Optional["Environment"] = None):
+        self.parent = parent
+        self.cells: Dict[str, Cell] = {}
+
+    def declare(self, name: str, value: Any = None) -> Cell:
+        """Create a fresh cell for ``name`` in this environment."""
+        cell = Cell(value=value, name=name)
+        if name != "_":
+            self.cells[name] = cell
+        return cell
+
+    def lookup(self, name: str) -> Optional[Cell]:
+        env: Optional[Environment] = self
+        while env is not None:
+            cell = env.cells.get(name)
+            if cell is not None:
+                return cell
+            env = env.parent
+        return None
+
+    def lookup_or_declare(self, name: str) -> Cell:
+        cell = self.lookup(name)
+        if cell is None:
+            cell = self.declare(name)
+        return cell
+
+    def is_local(self, name: str) -> bool:
+        return name in self.cells
+
+    def child(self) -> "Environment":
+        return Environment(parent=self)
+
+    def flat_names(self) -> Dict[str, Cell]:
+        """All visible names (outer shadowed by inner); used in diagnostics."""
+        chain = []
+        env: Optional[Environment] = self
+        while env is not None:
+            chain.append(env)
+            env = env.parent
+        result: Dict[str, Cell] = {}
+        for env in reversed(chain):
+            result.update(env.cells)
+        return result

@@ -1,0 +1,184 @@
+"""FastTrack-style dynamic happens-before race detection.
+
+The detector mirrors the algorithm used by ThreadSanitizer/FastTrack
+(Flanagan & Freund, PLDI 2009) at the granularity the interpreter needs:
+
+* every goroutine ``t`` carries a vector clock ``C_t``;
+* every synchronization object (mutex, channel, WaitGroup, atomic cell)
+  carries a clock that is joined on release/acquire edges;
+* every memory cell records the epoch of its last write and the clock of
+  reads since that write;
+* an access races with a previous access when the previous access's epoch is
+  not ordered before the current goroutine's clock.
+
+On detecting a race the detector records a :class:`RaceRecord` with both
+access snapshots (goroutine id, read/write, call stack) which the harness then
+renders as a ThreadSanitizer-format report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.memory import Cell
+from repro.runtime.vector_clock import Epoch, SyncVar, VectorClock
+
+
+@dataclass
+class AccessRecord:
+    """A snapshot of one memory access, retained for race reporting."""
+
+    goroutine_id: int
+    is_write: bool
+    stack: Tuple[Tuple[str, str, int], ...]  # (function, file, line) frames, leaf first
+    variable: str
+    address: int
+    creation_stack: Tuple[Tuple[str, str, int], ...] = ()
+
+
+@dataclass
+class RaceRecord:
+    """Two conflicting, unordered accesses to the same location."""
+
+    current: AccessRecord
+    previous: AccessRecord
+
+    @property
+    def variable(self) -> str:
+        return self.current.variable or self.previous.variable
+
+    def key(self) -> Tuple[str, ...]:
+        """A coarse dedup key: the leaf frames of both stacks plus the variable."""
+        cur = self.current.stack[0] if self.current.stack else ("?", "?", 0)
+        prev = self.previous.stack[0] if self.previous.stack else ("?", "?", 0)
+        frames = sorted([f"{cur[0]}:{cur[2]}", f"{prev[0]}:{prev[2]}"])
+        return (self.variable, *frames)
+
+
+@dataclass
+class _LocationState:
+    """Per-cell detector metadata."""
+
+    write_epoch: Optional[Epoch] = None
+    write_record: Optional[AccessRecord] = None
+    read_clock: VectorClock = field(default_factory=VectorClock)
+    read_records: Dict[int, AccessRecord] = field(default_factory=dict)
+
+
+class RaceDetector:
+    """Tracks happens-before and flags conflicting unordered accesses."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.races: List[RaceRecord] = []
+        self._thread_clocks: Dict[int, VectorClock] = {}
+        self._locations: Dict[int, _LocationState] = {}
+        self._reported_keys: set[Tuple[str, ...]] = set()
+
+    # ------------------------------------------------------------------
+    # Goroutine lifecycle
+    # ------------------------------------------------------------------
+
+    def register_goroutine(self, tid: int) -> None:
+        if tid not in self._thread_clocks:
+            clock = VectorClock()
+            clock.increment(tid)
+            self._thread_clocks[tid] = clock
+
+    def clock_of(self, tid: int) -> VectorClock:
+        self.register_goroutine(tid)
+        return self._thread_clocks[tid]
+
+    def on_fork(self, parent_tid: int, child_tid: int) -> None:
+        """``go`` statement: the child inherits the parent's knowledge."""
+        parent = self.clock_of(parent_tid)
+        child = self.clock_of(child_tid)
+        child.join(parent)
+        child.increment(child_tid)
+        parent.increment(parent_tid)
+
+    def on_join(self, waiter_tid: int, finished_tid: int) -> None:
+        """A join edge (e.g. WaitGroup.Wait observing a goroutine's Done)."""
+        waiter = self.clock_of(waiter_tid)
+        finished = self.clock_of(finished_tid)
+        waiter.join(finished)
+        waiter.increment(waiter_tid)
+
+    # ------------------------------------------------------------------
+    # Synchronization objects
+    # ------------------------------------------------------------------
+
+    def on_release(self, tid: int, sync: SyncVar) -> None:
+        """Unlock / channel send / WaitGroup.Done / atomic store."""
+        clock = self.clock_of(tid)
+        sync.release(clock)
+        clock.increment(tid)
+
+    def on_acquire(self, tid: int, sync: SyncVar) -> None:
+        """Lock / channel receive / WaitGroup.Wait return / atomic load."""
+        clock = self.clock_of(tid)
+        sync.acquire(clock)
+
+    # ------------------------------------------------------------------
+    # Memory accesses
+    # ------------------------------------------------------------------
+
+    def _state_for(self, cell: Cell) -> _LocationState:
+        state = self._locations.get(cell.address)
+        if state is None:
+            state = _LocationState()
+            self._locations[cell.address] = state
+        return state
+
+    def _record(self, race: RaceRecord) -> None:
+        key = race.key()
+        if key in self._reported_keys:
+            return
+        self._reported_keys.add(key)
+        self.races.append(race)
+
+    def on_read(self, tid: int, cell: Cell, record: AccessRecord) -> None:
+        if not self.enabled or cell.synchronized:
+            return
+        clock = self.clock_of(tid)
+        state = self._state_for(cell)
+        if state.write_epoch is not None and state.write_epoch.tid != tid:
+            if not state.write_epoch.happens_before(clock):
+                assert state.write_record is not None
+                self._record(RaceRecord(current=record, previous=state.write_record))
+        state.read_clock.set(tid, clock.get(tid))
+        state.read_records[tid] = record
+
+    def on_write(self, tid: int, cell: Cell, record: AccessRecord) -> None:
+        if not self.enabled or cell.synchronized:
+            return
+        clock = self.clock_of(tid)
+        state = self._state_for(cell)
+        if state.write_epoch is not None and state.write_epoch.tid != tid:
+            if not state.write_epoch.happens_before(clock):
+                assert state.write_record is not None
+                self._record(RaceRecord(current=record, previous=state.write_record))
+        for reader_tid, read_record in list(state.read_records.items()):
+            if reader_tid == tid:
+                continue
+            read_epoch = Epoch(reader_tid, state.read_clock.get(reader_tid))
+            if not read_epoch.happens_before(clock):
+                self._record(RaceRecord(current=record, previous=read_record))
+        state.write_epoch = clock.epoch(tid)
+        state.write_record = record
+        state.read_clock = VectorClock()
+        state.read_records = {}
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def has_races(self) -> bool:
+        return bool(self.races)
+
+    def reset(self) -> None:
+        self.races.clear()
+        self._locations.clear()
+        self._thread_clocks.clear()
+        self._reported_keys.clear()

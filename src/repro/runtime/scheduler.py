@@ -1,0 +1,165 @@
+"""Seeded cooperative scheduler that interleaves goroutine coroutines.
+
+The interpreter expresses every goroutine as a Python generator yielding
+:class:`~repro.runtime.goroutine.SchedulePoint` objects at memory accesses and
+synchronization operations.  The scheduler repeatedly picks a runnable
+goroutine (randomly, under a seed, or round-robin) and advances it by one
+step, which is what lets different seeds expose different interleavings —
+the stand-in for running a test "1000 times" under the Go race detector.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DeadlockError, GoRuntimeError
+from repro.runtime.goroutine import Goroutine, GoroutineState, SchedulePoint
+
+
+class SchedulerPolicy(enum.Enum):
+    """How the next runnable goroutine is chosen."""
+
+    RANDOM = "random"
+    ROUND_ROBIN = "round_robin"
+    #: Prefer the most recently created goroutine — tends to expose
+    #: parent/child races where the child runs ahead of the parent.
+    NEWEST_FIRST = "newest_first"
+    #: Prefer the oldest goroutine (usually the parent/test main) — tends to
+    #: expose races where the parent outruns its children, e.g. a ``Wait``
+    #: returning early because ``Add`` was placed inside the goroutine.
+    OLDEST_FIRST = "oldest_first"
+
+
+@dataclass
+class SchedulerStats:
+    steps: int = 0
+    context_switches: int = 0
+    max_live_goroutines: int = 0
+
+
+class Scheduler:
+    """Drives a set of goroutine coroutines to completion."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        policy: SchedulerPolicy = SchedulerPolicy.RANDOM,
+        max_steps: int = 200_000,
+    ):
+        self.seed = seed
+        self.policy = policy
+        self.max_steps = max_steps
+        self.random = random.Random(seed)
+        self.goroutines: Dict[int, Goroutine] = {}
+        self.stats = SchedulerStats()
+        self._next_gid = 1
+        self._last_gid: Optional[int] = None
+        self.failures: List[BaseException] = []
+
+    # ------------------------------------------------------------------
+    # Goroutine management
+    # ------------------------------------------------------------------
+
+    def new_gid(self) -> int:
+        gid = self._next_gid
+        self._next_gid += 1
+        return gid
+
+    def register(self, goroutine: Goroutine) -> None:
+        self.goroutines[goroutine.gid] = goroutine
+
+    def live_goroutines(self) -> List[Goroutine]:
+        return [g for g in self.goroutines.values() if g.is_live]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _runnable(self) -> List[Goroutine]:
+        runnable = []
+        for g in self.goroutines.values():
+            if g.state is GoroutineState.RUNNABLE:
+                runnable.append(g)
+            elif g.state is GoroutineState.BLOCKED and g.block_point is not None:
+                predicate = g.block_point.predicate
+                if predicate is None or predicate():
+                    runnable.append(g)
+        return runnable
+
+    def _pick(self, runnable: List[Goroutine]) -> Goroutine:
+        if len(runnable) == 1:
+            return runnable[0]
+        if self.policy is SchedulerPolicy.ROUND_ROBIN:
+            runnable.sort(key=lambda g: g.gid)
+            if self._last_gid is not None:
+                for g in runnable:
+                    if g.gid > self._last_gid:
+                        return g
+            return runnable[0]
+        if self.policy is SchedulerPolicy.NEWEST_FIRST:
+            # Strong bias to the newest goroutine, with occasional random picks
+            # so older goroutines still make progress.
+            if self.random.random() < 0.7:
+                return max(runnable, key=lambda g: g.gid)
+            return self.random.choice(runnable)
+        if self.policy is SchedulerPolicy.OLDEST_FIRST:
+            if self.random.random() < 0.85:
+                return min(runnable, key=lambda g: g.gid)
+            return self.random.choice(runnable)
+        return self.random.choice(runnable)
+
+    def run(self, main: Goroutine) -> None:
+        """Run until the main goroutine and every spawned goroutine finished,
+        every remaining goroutine is permanently blocked, or the step budget is
+        exhausted."""
+        if main.gid not in self.goroutines:
+            self.register(main)
+        while True:
+            live = self.live_goroutines()
+            if not live:
+                return
+            self.stats.max_live_goroutines = max(self.stats.max_live_goroutines, len(live))
+            runnable = self._runnable()
+            if not runnable:
+                if main.state in (GoroutineState.DONE, GoroutineState.FAILED):
+                    # The program's entry goroutine finished; remaining blocked
+                    # goroutines are abandoned, as when a Go process exits.
+                    return
+                reasons = "; ".join(
+                    f"goroutine {g.gid} ({g.name}): {g.block_point.reason if g.block_point else '?'}"
+                    for g in live
+                )
+                raise DeadlockError(f"all goroutines are blocked: {reasons}")
+            if self.stats.steps >= self.max_steps:
+                raise GoRuntimeError(
+                    f"scheduler step budget exhausted after {self.stats.steps} steps"
+                )
+            goroutine = self._pick(runnable)
+            if goroutine.gid != self._last_gid:
+                self.stats.context_switches += 1
+            self._last_gid = goroutine.gid
+            self._advance(goroutine)
+
+    def _advance(self, goroutine: Goroutine) -> None:
+        self.stats.steps += 1
+        goroutine.steps += 1
+        goroutine.state = GoroutineState.RUNNABLE
+        goroutine.block_point = None
+        assert goroutine.generator is not None
+        try:
+            point = next(goroutine.generator)
+        except StopIteration as stop:
+            goroutine.state = GoroutineState.DONE
+            goroutine.result = stop.value
+            return
+        except GoRuntimeError as exc:
+            goroutine.state = GoroutineState.FAILED
+            goroutine.failure = exc
+            self.failures.append(exc)
+            return
+        if isinstance(point, SchedulePoint) and point.kind == "block":
+            goroutine.state = GoroutineState.BLOCKED
+            goroutine.block_point = point

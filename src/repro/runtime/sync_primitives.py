@@ -1,0 +1,151 @@
+"""Runtime objects for the ``sync`` package: Mutex, RWMutex, WaitGroup,
+sync.Map, and Once.
+
+Each primitive owns a :class:`~repro.runtime.vector_clock.SyncVar` so that the
+detector can establish the happens-before edges the Go memory model
+guarantees (unlock → subsequent lock, ``Done`` → ``Wait`` return, etc.).  The
+interpreter performs the blocking (via scheduler predicates); these classes
+only hold state and answer readiness questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import GoRuntimeError
+from repro.runtime.vector_clock import SyncVar
+
+
+@dataclass
+class Mutex:
+    """``sync.Mutex``."""
+
+    locked: bool = False
+    owner: Optional[int] = None
+    sync: SyncVar = field(default_factory=SyncVar)
+
+    def can_lock(self) -> bool:
+        return not self.locked
+
+    def lock(self, tid: int) -> None:
+        if self.locked:
+            raise AssertionError("lock() called while mutex is held")
+        self.locked = True
+        self.owner = tid
+
+    def unlock(self) -> None:
+        if not self.locked:
+            raise GoRuntimeError("sync: unlock of unlocked mutex")
+        self.locked = False
+        self.owner = None
+
+
+@dataclass
+class RWMutex:
+    """``sync.RWMutex`` — a writer excludes readers and other writers."""
+
+    readers: int = 0
+    writer: bool = False
+    writer_owner: Optional[int] = None
+    sync: SyncVar = field(default_factory=SyncVar)
+
+    def can_lock(self) -> bool:
+        return not self.writer and self.readers == 0
+
+    def lock(self, tid: int) -> None:
+        self.writer = True
+        self.writer_owner = tid
+
+    def unlock(self) -> None:
+        if not self.writer:
+            raise GoRuntimeError("sync: Unlock of unlocked RWMutex")
+        self.writer = False
+        self.writer_owner = None
+
+    def can_rlock(self) -> bool:
+        return not self.writer
+
+    def rlock(self) -> None:
+        self.readers += 1
+
+    def runlock(self) -> None:
+        if self.readers <= 0:
+            raise GoRuntimeError("sync: RUnlock of unlocked RWMutex")
+        self.readers -= 1
+
+
+@dataclass
+class WaitGroup:
+    """``sync.WaitGroup``.
+
+    ``Add`` carries no happens-before edge; ``Done`` releases into the group's
+    clock and a ``Wait`` that observes the counter reach zero acquires it.
+    This faithfully reproduces the "``Add`` placed inside the goroutine"
+    mis-synchronization from Listing 6: if the parent reaches ``Wait`` before
+    any child executed ``Add`` the counter is already zero and ``Wait`` returns
+    without ordering the parent after the children.
+    """
+
+    counter: int = 0
+    sync: SyncVar = field(default_factory=SyncVar)
+
+    def add(self, delta: int) -> None:
+        self.counter += delta
+        if self.counter < 0:
+            raise GoRuntimeError("sync: negative WaitGroup counter")
+
+    def done(self) -> None:
+        self.add(-1)
+
+    def ready(self) -> bool:
+        return self.counter <= 0
+
+
+@dataclass
+class SyncMap:
+    """``sync.Map`` — internally synchronized; accesses never race."""
+
+    entries: Dict[Any, Any] = field(default_factory=dict)
+    sync: SyncVar = field(default_factory=SyncVar)
+
+    def load(self, key: Any) -> tuple[Any, bool]:
+        if key in self.entries:
+            return self.entries[key], True
+        return None, False
+
+    def store(self, key: Any, value: Any) -> None:
+        self.entries[key] = value
+
+    def load_or_store(self, key: Any, value: Any) -> tuple[Any, bool]:
+        if key in self.entries:
+            return self.entries[key], True
+        self.entries[key] = value
+        return value, False
+
+    def delete(self, key: Any) -> None:
+        self.entries.pop(key, None)
+
+    def snapshot(self) -> list[tuple[Any, Any]]:
+        """Items for ``Range`` iteration (copied, like sync.Map's semantics)."""
+        return list(self.entries.items())
+
+
+@dataclass
+class Once:
+    """``sync.Once``."""
+
+    done: bool = False
+    running: bool = False
+    sync: SyncVar = field(default_factory=SyncVar)
+
+    def can_enter(self) -> bool:
+        return not self.running
+
+    def should_run(self) -> bool:
+        return not self.done
+
+
+def is_sync_object(value: Any) -> bool:
+    """True for any runtime object from this module (used by value copy logic)."""
+    return isinstance(value, (Mutex, RWMutex, WaitGroup, SyncMap, Once))

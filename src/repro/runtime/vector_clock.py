@@ -1,0 +1,96 @@
+"""Vector clocks and epochs for happens-before race detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """A single (goroutine id, clock) pair — FastTrack's ``c@t``."""
+
+    tid: int
+    clock: int
+
+    def happens_before(self, vc: "VectorClock") -> bool:
+        """``self ≤ vc``: the epoch is ordered before the vector clock."""
+        return self.clock <= vc.get(self.tid)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.clock}@{self.tid}"
+
+
+class VectorClock:
+    """A sparse vector clock mapping goroutine id → logical clock."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Dict[int, int] | None = None):
+        self._clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    # -- basic accessors ---------------------------------------------------------------
+
+    def get(self, tid: int) -> int:
+        return self._clocks.get(tid, 0)
+
+    def set(self, tid: int, value: int) -> None:
+        if value:
+            self._clocks[tid] = value
+
+    def increment(self, tid: int) -> None:
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def epoch(self, tid: int) -> Epoch:
+        """The epoch of goroutine ``tid`` according to this clock."""
+        return Epoch(tid, self.get(tid))
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._clocks.items())
+
+    # -- lattice operations ------------------------------------------------------------
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place least upper bound (``self ⊔= other``)."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                self._clocks[tid] = clock
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """``other ≤ self`` component-wise."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return {k: v for k, v in self._clocks.items() if v} == {
+            k: v for k, v in other._clocks.items() if v
+        }
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key in hot paths
+        return hash(tuple(sorted((k, v) for k, v in self._clocks.items() if v)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{t}:{c}" for t, c in sorted(self._clocks.items()))
+        return f"VC({inner})"
+
+
+@dataclass
+class SyncVar:
+    """A synchronization object's clock (lock, channel, WaitGroup, atomic cell)."""
+
+    vc: VectorClock = field(default_factory=VectorClock)
+
+    def release(self, thread_vc: VectorClock) -> None:
+        """Record that the releasing goroutine's knowledge flows into this object."""
+        self.vc.join(thread_vc)
+
+    def acquire(self, thread_vc: VectorClock) -> None:
+        """Propagate this object's knowledge into the acquiring goroutine."""
+        thread_vc.join(self.vc)

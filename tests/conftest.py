@@ -1,0 +1,105 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package (offline environments
+# fall back to a .pth file or PYTHONPATH; this covers a bare checkout too).
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import DrFixConfig  # noqa: E402
+from repro.corpus.templates.capture_by_ref import make_err_capture_case  # noqa: E402
+from repro.corpus.templates.concurrent_map import make_shard_map_case  # noqa: E402
+from repro.corpus.templates.loop_var import make_loop_var_case  # noqa: E402
+from repro.corpus.templates.missing_sync import make_waitgroup_add_case  # noqa: E402
+from repro.runtime.harness import GoFile, GoPackage  # noqa: E402
+
+
+LISTING1_SOURCE = """
+package svc
+
+import "sync"
+
+func someWork() error { return nil }
+func task1() error { return nil }
+func task2() error { return nil }
+
+func SomeFunction() error {
+	err := someWork()
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err = task1(); err != nil {
+			return
+		}
+	}()
+	if err = task2(); err != nil {
+		return err
+	}
+	wg.Wait()
+	return err
+}
+"""
+
+LISTING1_TEST = """
+package svc
+
+import "testing"
+
+func TestSomeFunction(t *testing.T) {
+	if err := SomeFunction(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+"""
+
+LISTING1_FIXED = LISTING1_SOURCE.replace("if err = task1()", "if err := task1()")
+
+
+@pytest.fixture
+def listing1_package() -> GoPackage:
+    """The paper's Listing 1 (write-write race on a captured ``err``)."""
+    return GoPackage(
+        name="svc",
+        files=[GoFile("service.go", LISTING1_SOURCE), GoFile("service_test.go", LISTING1_TEST)],
+    )
+
+
+@pytest.fixture
+def listing1_fixed_package(listing1_package: GoPackage) -> GoPackage:
+    return listing1_package.replace_file("service.go", LISTING1_FIXED)
+
+
+@pytest.fixture
+def drfix_config() -> DrFixConfig:
+    return DrFixConfig(model="gpt-4o", validator_runs=8, detection_runs=10)
+
+
+@pytest.fixture(scope="session")
+def err_capture_case():
+    return make_err_capture_case(4242, 1)
+
+
+@pytest.fixture(scope="session")
+def waitgroup_case():
+    return make_waitgroup_add_case(4242, 1)
+
+
+@pytest.fixture(scope="session")
+def loop_var_case():
+    return make_loop_var_case(4242, 1)
+
+
+@pytest.fixture(scope="session")
+def shard_map_case():
+    return make_shard_map_case(4242, 1)

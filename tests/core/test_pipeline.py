@@ -1,0 +1,125 @@
+"""End-to-end tests of the Dr.Fix pipeline (Listing 13)."""
+
+import pytest
+
+from repro.core import DrFix, DrFixConfig, ExampleDatabase
+from repro.core.categories import RaceCategory
+from repro.corpus.generator import generate_cases
+from repro.runtime.harness import run_package_tests
+
+
+@pytest.fixture(scope="module")
+def pipeline_config():
+    return DrFixConfig(model="gpt-4o", validator_runs=8, detection_runs=10)
+
+
+@pytest.fixture(scope="module")
+def pipeline_database(pipeline_config):
+    db_cases = generate_cases(
+        [RaceCategory.CAPTURE_BY_REFERENCE, RaceCategory.MISSING_SYNCHRONIZATION,
+         RaceCategory.CONCURRENT_MAP_ACCESS, RaceCategory.PARALLEL_TEST_SUITE,
+         RaceCategory.CONCURRENT_SLICE_ACCESS, RaceCategory.OTHERS],
+        count_per_category=2, seed=3000, noise_level=1,
+    )
+    return ExampleDatabase.from_cases(db_cases, pipeline_config)
+
+
+class TestPipelineFixesSimpleRaces:
+    def test_listing1_style_race_is_fixed_and_validated(self, err_capture_case,
+                                                        pipeline_config, pipeline_database):
+        drfix = DrFix(err_capture_case.package, config=pipeline_config,
+                      database=pipeline_database)
+        outcome = drfix.fix_case(err_capture_case)
+        assert outcome.fixed
+        assert outcome.strategy == "redeclare"
+        assert outcome.patch is not None
+        # The produced patch genuinely eliminates the race.
+        result = run_package_tests(outcome.patch.package, runs=10)
+        assert not result.has_race(outcome.bug_hash)
+
+    def test_loop_variable_race_is_fixed_without_rag(self, loop_var_case, pipeline_config):
+        drfix = DrFix(loop_var_case.package, config=pipeline_config.without_rag())
+        outcome = drfix.fix_case(loop_var_case)
+        assert outcome.fixed and outcome.strategy == "loop_var_copy"
+
+    def test_waitgroup_misplacement_is_fixed(self, waitgroup_case, pipeline_config,
+                                             pipeline_database):
+        drfix = DrFix(waitgroup_case.package, config=pipeline_config,
+                      database=pipeline_database)
+        outcome = drfix.fix_case(waitgroup_case)
+        assert outcome.fixed and outcome.strategy == "move_wg_add"
+
+    def test_outcome_records_attempts_and_counters(self, err_capture_case, pipeline_config,
+                                                   pipeline_database):
+        drfix = DrFix(err_capture_case.package, config=pipeline_config,
+                      database=pipeline_database)
+        outcome = drfix.fix_case(err_capture_case)
+        assert outcome.attempts
+        assert outcome.model_calls >= 1
+        assert outcome.validations >= 1
+        assert outcome.lines_changed > 0
+        assert outcome.location in {"test", "leaf", "lca"}
+        assert outcome.scope in {"function", "file"}
+
+
+class TestPipelineAblationBehaviour:
+    def test_complex_map_race_needs_rag(self, shard_map_case, pipeline_config,
+                                        pipeline_database):
+        without_rag = DrFix(shard_map_case.package,
+                            config=pipeline_config.without_rag()).fix_case(shard_map_case)
+        with_rag = DrFix(shard_map_case.package, config=pipeline_config,
+                         database=pipeline_database).fix_case(shard_map_case)
+        assert not without_rag.fixed
+        assert with_rag.fixed and with_rag.strategy == "sync_map_convert"
+        assert with_rag.guided_by_example
+
+    def test_file_scope_fix_is_not_found_at_function_scope(self, pipeline_config,
+                                                           pipeline_database):
+        case = generate_cases([RaceCategory.MISSING_SYNCHRONIZATION], 2, seed=610)[1]
+        assert case.requires_file_scope
+        func_only = DrFix(case.package, config=pipeline_config.function_scope_only(),
+                          database=pipeline_database).fix_case(case)
+        full = DrFix(case.package, config=pipeline_config,
+                     database=pipeline_database).fix_case(case)
+        assert not func_only.fixed
+        assert full.fixed
+
+    def test_unreproducible_race_is_reported(self, pipeline_config, err_capture_case):
+        # The fixed package has no race to reproduce.
+        drfix = DrFix(err_capture_case.fixed_package, config=pipeline_config)
+        fixed_case = type(err_capture_case)(
+            case_id="synthetic", category=err_capture_case.category,
+            package=err_capture_case.fixed_package,
+            fixed_package=err_capture_case.fixed_package,
+            racy_file=err_capture_case.racy_file,
+            racy_function=err_capture_case.racy_function,
+            racy_variable=err_capture_case.racy_variable,
+            fix_strategy=err_capture_case.fix_strategy,
+        )
+        outcome = drfix.fix_case(fixed_case)
+        assert not outcome.fixed
+        assert "could not be reproduced" in outcome.failure_reason
+
+    def test_vendor_races_are_not_patched(self, pipeline_config, pipeline_database):
+        from repro.corpus.templates.unfixable import make_external_vendor_case
+
+        case = make_external_vendor_case(611, 1)
+        outcome = DrFix(case.package, config=pipeline_config,
+                        database=pipeline_database).fix_case(case)
+        assert not outcome.fixed
+
+    def test_multi_file_races_are_not_fixed(self, pipeline_config, pipeline_database):
+        from repro.corpus.templates.unfixable import make_multi_file_case
+
+        case = make_multi_file_case(612, 1)
+        outcome = DrFix(case.package, config=pipeline_config,
+                        database=pipeline_database).fix_case(case)
+        assert not outcome.fixed
+
+    def test_deterministic_outcomes(self, err_capture_case, pipeline_config, pipeline_database):
+        first = DrFix(err_capture_case.package, config=pipeline_config,
+                      database=pipeline_database).fix_case(err_capture_case)
+        second = DrFix(err_capture_case.package, config=pipeline_config,
+                       database=pipeline_database).fix_case(err_capture_case)
+        assert first.fixed == second.fixed
+        assert first.strategy == second.strategy

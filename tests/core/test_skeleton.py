@@ -1,0 +1,99 @@
+"""Tests for concurrency skeleton creation (Section 4.3)."""
+
+from repro.core.skeleton import Skeletonizer, skeletonize_source
+from repro.golang.parser import parse_file
+
+LISTING3 = """
+package svc
+
+func (s *storeObject) ProcessStoreData(ctx *Context, req *Request) error {
+	err := s.Validate(req)
+	if err != nil {
+		return err
+	}
+	var bazaarStores BazaarStores
+	var uuidDefectRateMap UUIDMap
+	group.Go(func() error {
+		docs := s.GetNecessaryDocs()
+		if flipr.GetBool(xpAdditionalDocs) {
+			otherDocs := s.GetAdditionalDocs()
+			docs = append(docs, otherDocs)
+		}
+		bazaarStores, err = s.LoadStores(ctx, req, docs)
+		return err
+	})
+	group.Go(func() error {
+		uuidDefectRateMap, err = s.LoadOAData(ctx, s.DocstoreClient, req)
+		return err
+	})
+	err = group.Wait()
+	return nil
+}
+"""
+
+
+class TestSkeletonization:
+    def test_racy_variable_is_renamed_to_racyvar(self):
+        skeleton = skeletonize_source(LISTING3, racy_lines=[17, 21])
+        assert "racyVar1" in skeleton
+        assert "err =" not in skeleton and "err :=" not in skeleton and ", err" not in skeleton
+
+    def test_business_identifiers_are_canonicalized(self):
+        skeleton = skeletonize_source(LISTING3, racy_lines=[17, 21])
+        for name in ("bazaarStores", "uuidDefectRateMap", "LoadStores", "ProcessStoreData"):
+            assert name not in skeleton
+        assert "func1" in skeleton and "type1" in skeleton
+
+    def test_concurrency_vocabulary_is_preserved(self):
+        skeleton = skeletonize_source(LISTING3, racy_lines=[17, 21])
+        assert ".Go(func()" in skeleton
+        assert ".Wait()" in skeleton
+
+    def test_irrelevant_blocks_are_pruned(self):
+        skeleton = skeletonize_source(LISTING3, racy_lines=[17, 21])
+        # The flipr.GetBool block touches neither concurrency nor racy variables.
+        assert "func4" not in skeleton or "append" not in skeleton
+
+    def test_skeletons_are_invariant_to_renaming(self):
+        renamed = (
+            LISTING3.replace("bazaarStores", "warehouseItems")
+            .replace("uuidDefectRateMap", "defectsByID")
+            .replace("ProcessStoreData", "HandleInventory")
+            .replace("storeObject", "inventoryObject")
+            .replace("LoadStores", "FetchItems")
+            .replace("LoadOAData", "FetchDefects")
+        )
+        assert skeletonize_source(LISTING3, racy_lines=[17, 21]) == skeletonize_source(
+            renamed, racy_lines=[17, 21]
+        )
+
+    def test_explicit_racy_variable_overrides_inference(self):
+        skeleton = skeletonize_source(LISTING3, racy_variables=["bazaarStores"])
+        assert "racyVar" in skeleton
+
+    def test_racy_variable_inference_prefers_written_shared_names(self):
+        skeletonizer = Skeletonizer()
+        file = parse_file(LISTING3)
+        decl = file.find_func("ProcessStoreData")
+        inferred = skeletonizer.infer_racy_variables(decl, [17, 21])
+        assert inferred == {"err"}
+
+    def test_skeleton_of_plain_function_keeps_signature(self):
+        source = "package p\n\nfunc Sum(a int, b int) int {\n\treturn a + b\n}\n"
+        skeleton = skeletonize_source(source)
+        assert skeleton.startswith("func func1(")
+
+    def test_result_metadata(self):
+        result = Skeletonizer().skeletonize_source(LISTING3, racy_lines=[17, 21])
+        assert result.kept_functions == ["ProcessStoreData"]
+        assert "err" in result.racy_variables
+        assert result.rename_map.get("err") == "racyVar1"
+
+    def test_file_level_skeleton_without_lines_keeps_concurrent_functions(self):
+        source = (
+            "package p\n\nfunc Quiet() int {\n\treturn 1\n}\n\n"
+            "func Busy() {\n\tgo func() {\n\t\twork()\n\t}()\n}\n"
+        )
+        skeleton = skeletonize_source(source)
+        assert "go func()" in skeleton
+        assert "Quiet" not in skeleton

@@ -1,0 +1,160 @@
+"""Tests for the evaluation harness: metrics, runner, ablations, and experiment tables."""
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig
+from repro.evaluation.ablation import (
+    location_ablation,
+    model_ablation,
+    rag_ablation,
+    scope_ablation,
+    skeleton_noise_ablation,
+)
+from repro.evaluation.experiments import (
+    all_experiment_tables,
+    figure3_rag,
+    figure4_scope,
+    rq1_headline,
+    table1_codebase,
+    table2_components,
+    table3_categories,
+    table5_unfixed,
+    table6_survey,
+    table7_loc,
+)
+from repro.evaluation.metrics import FixRate, Histogram, mean, percentile, stddev
+from repro.evaluation.reporting import Table, format_table, render_report
+from repro.evaluation.runner import ExperimentContext
+from repro.evaluation.survey import run_survey
+
+
+@pytest.fixture(scope="module")
+def context():
+    """A small but complete experiment context shared by the evaluation tests."""
+    return ExperimentContext(
+        corpus_config=CorpusConfig(db_examples=14, eval_fixable=14, eval_unfixable=6, seed=8),
+    )
+
+
+class TestMetrics:
+    def test_fix_rate(self):
+        rate = FixRate(fixed=3, total=12, label="arm")
+        assert rate.rate == 0.25 and rate.percent == 25.0
+        assert "3/12" in str(rate)
+        assert FixRate().rate == 0.0
+
+    def test_percentiles_match_convention(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 100) == 100
+        assert percentile([], 50) == 0.0
+        assert percentile([7], 99) == 7
+
+    def test_mean_and_stddev(self):
+        assert mean([2, 4, 6]) == 4
+        assert stddev([2, 2, 2]) == 0
+        assert stddev([1]) == 0
+
+    def test_histogram(self):
+        hist = Histogram()
+        hist.add("a")
+        hist.add("a")
+        hist.add("b")
+        assert hist.fraction("a") == pytest.approx(2 / 3)
+        assert hist.sorted_items()[0] == ("a", 2)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_markdown(self):
+        table = Table(title="Demo", headers=["Name", "Value"], paper_reference="Table 0")
+        table.add_row("alpha", 1)
+        table.add_row("beta", 22)
+        text = format_table(table)
+        assert "Demo" in text and "alpha" in text
+        markdown = table.render_markdown()
+        assert "| Name | Value |" in markdown
+        report = render_report([table])
+        assert report.startswith("Dr.Fix reproduction report")
+
+
+class TestRunnerAndAblations:
+    def test_full_run_produces_results_for_every_case(self, context):
+        run = context.full_run()
+        assert len(run.results) == len(context.dataset.evaluation)
+        assert 0 < run.fix_rate().fixed <= run.fix_rate().total
+        # Every fixed case got a review decision.
+        assert all(r.review is not None for r in run.fixed_results())
+
+    def test_runs_are_cached_by_label(self, context):
+        assert context.full_run() is context.full_run()
+
+    def test_rag_ablation_ordering(self, context):
+        result = rag_ablation(context)
+        rates = {arm.label: arm.measured.rate for arm in result.arms}
+        assert rates["no-rag"] <= rates["rag-skeleton"]
+        assert len(result.arms) == 3
+
+    def test_scope_ablation_contains_all_arms(self, context):
+        result = scope_ablation(context)
+        assert {arm.label for arm in result.arms} == {
+            "function-only", "file-only", "file-with-feedback", "function-file-feedback",
+        }
+        rates = {arm.label: arm.measured.rate for arm in result.arms}
+        assert rates["file-only"] <= rates["function-file-feedback"]
+
+    def test_location_ablation(self, context):
+        result = location_ablation(context)
+        rates = {arm.label: arm.measured.rate for arm in result.arms}
+        assert rates["without-lca"] <= rates["with-lca"]
+
+    def test_model_ablation(self, context):
+        result = model_ablation(context)
+        rates = {arm.label: arm.measured.rate for arm in result.arms}
+        assert rates["gpt-4o"] <= rates["o1-preview"] + 1e-9
+
+    def test_skeleton_retrieval_precision_beats_raw(self, context):
+        precision = skeleton_noise_ablation(context)
+        assert precision["skeleton"] >= precision["raw"]
+        assert precision["skeleton"] > 0.5
+
+
+class TestExperimentTables:
+    def test_table1_reports_corpus_statistics(self, context):
+        table = table1_codebase(context)
+        assert table.paper_reference == "Table 1"
+        assert len(table.rows) >= 2
+
+    def test_table2_lists_component_substitutions(self):
+        table = table2_components()
+        assert any("ChromaDB" in " ".join(row) for row in table.rows)
+
+    def test_table3_covers_every_category(self, context):
+        table = table3_categories(context)
+        assert len(table.rows) == 7
+
+    def test_figures_and_headline_tables_render(self, context):
+        for table in (figure3_rag(context), figure4_scope(context), rq1_headline(context)):
+            text = table.render()
+            assert "%" in text
+
+    def test_table5_uses_ground_truth_reasons(self, context):
+        table = table5_unfixed(context)
+        assert any("More than 2 File Changes" in row[0] for row in table.rows)
+
+    def test_table6_survey_from_run(self, context):
+        run = context.full_run()
+        survey = run_survey(run)
+        assert 0 < survey.quality_score <= 5
+        table = table6_survey(context, run)
+        assert any("Quality" in row[0] for row in table.rows)
+
+    def test_table7_percentiles_are_monotone(self, context):
+        table = table7_loc(context)
+        drfix_column = [float(row[2]) for row in table.rows]
+        assert drfix_column == sorted(drfix_column)
+
+    def test_all_experiment_tables_render_in_one_report(self, context):
+        tables = all_experiment_tables(context)
+        assert len(tables) == 12
+        report = render_report(tables)
+        assert "Figure 3" in report and "RQ1" in report and "Table 7" in report

@@ -1,0 +1,128 @@
+"""Tests for the Go-subset lexer."""
+
+import pytest
+
+from repro.errors import GoSyntaxError
+from repro.golang.lexer import tokenize
+from repro.golang.tokens import TokenKind
+
+
+def kinds(source: str, keep_semicolons: bool = False):
+    skip = {TokenKind.EOF} if keep_semicolons else {TokenKind.EOF, TokenKind.SEMICOLON}
+    return [t.kind for t in tokenize(source) if t.kind not in skip]
+
+
+def texts(source: str):
+    return [
+        t.text
+        for t in tokenize(source)
+        if t.kind not in (TokenKind.EOF, TokenKind.SEMICOLON)
+    ]
+
+
+class TestBasicTokens:
+    def test_keywords_are_recognized(self):
+        assert kinds("go func select chan defer") == [
+            TokenKind.GO, TokenKind.FUNC, TokenKind.SELECT, TokenKind.CHAN, TokenKind.DEFER,
+        ]
+
+    def test_identifiers_and_ints(self):
+        tokens = tokenize("limit := 42")
+        assert tokens[0].kind is TokenKind.IDENT and tokens[0].text == "limit"
+        assert tokens[1].kind is TokenKind.DEFINE
+        assert tokens[2].kind is TokenKind.INT and tokens[2].text == "42"
+
+    def test_hex_and_underscored_ints(self):
+        assert texts("0xFF 1_000") == ["0xFF", "1_000"]
+
+    def test_float_literals(self):
+        tokens = tokenize("x = 1e3 + 2.5")
+        assert tokens[2].kind is TokenKind.FLOAT
+        assert tokens[4].kind is TokenKind.FLOAT
+
+    def test_string_literal_with_escapes(self):
+        tokens = tokenize('s := "a\\tb\\n"')
+        assert tokens[2].kind is TokenKind.STRING
+        assert tokens[2].text == "a\tb\n"
+
+    def test_raw_string_literal(self):
+        tokens = tokenize("s := `raw "
+                          "text`")
+        assert tokens[2].kind is TokenKind.STRING
+
+    def test_rune_literal(self):
+        tokens = tokenize("r := 'x'")
+        assert tokens[2].kind is TokenKind.CHAR and tokens[2].text == "x"
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("a := 1\nb := 2")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2 and b_token.column == 1
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "source, kind",
+        [
+            ("<-", TokenKind.ARROW),
+            (":=", TokenKind.DEFINE),
+            ("==", TokenKind.EQL),
+            ("!=", TokenKind.NEQ),
+            ("&&", TokenKind.LAND),
+            ("||", TokenKind.LOR),
+            ("++", TokenKind.INC),
+            ("--", TokenKind.DEC),
+            ("+=", TokenKind.ADD_ASSIGN),
+            ("...", TokenKind.ELLIPSIS),
+            ("&^", TokenKind.AND_NOT),
+            ("<<", TokenKind.SHL),
+        ],
+    )
+    def test_multi_character_operators(self, source, kind):
+        assert kinds(source) == [kind]
+
+    def test_channel_receive_in_context(self):
+        assert TokenKind.ARROW in kinds("value := <-ch")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(GoSyntaxError):
+            tokenize("a := $b")
+
+
+class TestSemicolonInsertion:
+    def test_newline_after_identifier_inserts_semicolon(self):
+        result = kinds("x := 1\ny := 2", keep_semicolons=True)
+        assert result.count(TokenKind.SEMICOLON) == 2
+
+    def test_newline_after_operator_does_not_insert(self):
+        result = kinds("x := 1 +\n2", keep_semicolons=True)
+        # Only the final newline terminates the statement.
+        assert result.count(TokenKind.SEMICOLON) == 1
+
+    def test_newline_after_closing_brace_inserts(self):
+        result = kinds("f()\n}", keep_semicolons=True)
+        assert TokenKind.SEMICOLON in result
+
+    def test_return_followed_by_newline(self):
+        result = kinds("return\nx := 1", keep_semicolons=True)
+        assert result[1] is TokenKind.SEMICOLON
+
+
+class TestComments:
+    def test_line_comments_are_skipped_by_default(self):
+        assert TokenKind.COMMENT not in kinds("x := 1 // a comment")
+
+    def test_line_comments_kept_when_requested(self):
+        tokens = tokenize("x := 1 // note", keep_comments=True)
+        assert any(t.kind is TokenKind.COMMENT for t in tokens)
+
+    def test_block_comment(self):
+        assert texts("a /* hidden */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(GoSyntaxError):
+            tokenize("/* never closed")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(GoSyntaxError):
+            tokenize('s := "oops')

@@ -1,0 +1,100 @@
+"""Tests for the AST printer, including parse→print round-trip stability."""
+
+import pytest
+
+from repro.golang.parser import parse_expr, parse_file
+from repro.golang.printer import print_file, print_node
+from tests.conftest import LISTING1_SOURCE
+
+
+def round_trip(source: str) -> str:
+    return print_file(parse_file(source))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "package p\n\nfunc F() int {\n\treturn 1\n}\n",
+            LISTING1_SOURCE,
+            (
+                "package p\n\nfunc G(items []string) {\n\tvar wg sync.WaitGroup\n"
+                "\tfor _, item := range items {\n\t\titem := item\n\t\twg.Add(1)\n"
+                "\t\tgo func() {\n\t\t\tdefer wg.Done()\n\t\t\tuse(item)\n\t\t}()\n\t}\n"
+                "\twg.Wait()\n}\n"
+            ),
+            (
+                "package p\n\nfunc H(m map[string]int) int {\n\ttotal := 0\n"
+                "\tfor k, v := range m {\n\t\tif k != \"\" {\n\t\t\ttotal += v\n\t\t}\n\t}\n"
+                "\treturn total\n}\n"
+            ),
+        ],
+    )
+    def test_print_parse_print_is_fixed_point(self, source):
+        once = round_trip(source)
+        twice = print_file(parse_file(once))
+        assert once == twice
+
+    def test_listing1_fix_survives_round_trip(self):
+        fixed = LISTING1_SOURCE.replace("if err = task1()", "if err := task1()")
+        assert "err := task1()" in round_trip(fixed)
+
+
+class TestSpecificForms:
+    def test_expression_rendering(self):
+        assert print_node(parse_expr("a + b*c")) == "a + b * c"
+        assert print_node(parse_expr("m[k]")) == "m[k]"
+        assert print_node(parse_expr("<-ch")) == "<-ch"
+        assert print_node(parse_expr("&T{X: 1}")) == "&T{X: 1}"
+        assert print_node(parse_expr("x.(string)")) == "x.(string)"
+
+    def test_types_render_correctly(self):
+        assert print_node(parse_expr("make(chan struct{}, 1)")) == "make(chan struct{}, 1)"
+        assert print_node(parse_expr("map[string]int{}")) == "map[string]int{}"
+        assert print_node(parse_expr("[]int{1, 2}")) == "[]int{1, 2}"
+
+    def test_select_statement_renders_cases(self):
+        source = (
+            "package p\n\nfunc F(ch chan int, done chan struct{}) int {\n"
+            "\tselect {\n\tcase v := <-ch:\n\t\treturn v\n\tcase <-done:\n\t\treturn 0\n"
+            "\tdefault:\n\t\treturn -1\n\t}\n}\n"
+        )
+        output = round_trip(source)
+        assert "select {" in output and "case v := <-ch:" in output and "default:" in output
+
+    def test_go_closure_renders_with_arguments(self):
+        source = (
+            "package p\n\nfunc F(x int) {\n\tgo func(n int) {\n\t\tuse(n)\n\t}(x)\n}\n"
+        )
+        output = round_trip(source)
+        assert "}(x)" in output
+
+    def test_struct_type_multiline(self):
+        source = "package p\n\ntype T struct {\n\tA int\n\tmu sync.Mutex\n}\n"
+        output = round_trip(source)
+        assert "\tA int" in output and "\tmu sync.Mutex" in output
+
+    def test_if_else_rendering(self):
+        source = (
+            "package p\n\nfunc F(a bool, b bool) int {\n\tif a {\n\t\treturn 1\n"
+            "\t} else if b {\n\t\treturn 2\n\t} else {\n\t\treturn 3\n\t}\n}\n"
+        )
+        output = round_trip(source)
+        assert "} else if b {" in output and "} else {" in output
+
+    def test_import_block_rendering(self):
+        source = 'package p\n\nimport (\n\t"sync"\n\t"testing"\n)\n\nfunc F() {}\n'
+        output = round_trip(source)
+        assert 'import (' in output and '"sync"' in output
+
+    def test_method_with_receiver(self):
+        source = "package p\n\nfunc (s *Store) Load(k string) int {\n\treturn s.m[k]\n}\n"
+        output = round_trip(source)
+        assert "func (s *Store) Load(k string) int {" in output
+
+    def test_labeled_break(self):
+        source = (
+            "package p\n\nfunc F() {\nLoop:\n\tfor {\n\t\tbreak Loop\n\t}\n}\n"
+        )
+        output = round_trip(source)
+        assert "Loop:" in output and "break Loop" in output

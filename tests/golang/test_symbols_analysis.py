@@ -1,0 +1,125 @@
+"""Tests for capture analysis and the concurrency-oriented AST helpers."""
+
+from repro.golang import ast_nodes as ast
+from repro.golang.analysis import (
+    block_mentions_concurrency,
+    build_call_graph,
+    find_enclosing_function,
+    find_spawn_sites,
+    lowest_common_ancestor,
+    names_on_lines,
+    node_line_span,
+    stmt_is_concurrency,
+)
+from repro.golang.parser import parse_file, parse_stmts
+from repro.golang.symbols import analyze_captures, declared_names
+
+
+CAPTURE_SOURCE = """
+package p
+
+func Outer(items []int) int {
+	total := 0
+	limit := 10
+	go func() {
+		total = total + limit
+	}()
+	go func(n int) {
+		use(n)
+	}(limit)
+	return total
+}
+
+func use(n int) int {
+	return n
+}
+"""
+
+
+class TestCaptureAnalysis:
+    def test_closure_captures_outer_variables(self):
+        file = parse_file(CAPTURE_SOURCE)
+        captures = analyze_captures(file.find_func("Outer"), file)
+        first = captures[0]
+        assert {"total", "limit"} <= first.captured
+        assert "total" in first.assigned_captures
+
+    def test_parameter_is_not_a_capture(self):
+        file = parse_file(CAPTURE_SOURCE)
+        captures = analyze_captures(file.find_func("Outer"), file)
+        second = captures[1]
+        assert "n" not in second.captured
+
+    def test_locally_declared_names_are_not_captures(self):
+        source = (
+            "package p\n\nfunc F() {\n\tgo func() {\n\t\terr := work()\n\t\tuse(err)\n\t}()\n}\n"
+        )
+        file = parse_file(source)
+        captures = analyze_captures(file.find_func("F"), file)
+        assert "err" not in captures[0].captured
+
+    def test_package_level_functions_are_not_captures(self):
+        file = parse_file(CAPTURE_SOURCE)
+        captures = analyze_captures(file.find_func("Outer"), file)
+        assert "use" not in captures[1].captured
+
+    def test_declared_names_in_block(self):
+        stmts = parse_stmts("a := 1\nvar b int\nc = 2")
+        block = ast.BlockStmt(stmts=stmts)
+        assert declared_names(block) == {"a", "b"}
+
+
+class TestConcurrencyAnalysis:
+    def test_go_and_send_statements_are_concurrency(self):
+        go_stmt, send_stmt, plain = parse_stmts("go f()\nch <- 1\nx := 2")
+        assert stmt_is_concurrency(go_stmt)
+        assert stmt_is_concurrency(send_stmt)
+        assert not stmt_is_concurrency(plain)
+
+    def test_sync_calls_are_concurrency(self):
+        wait, lock, other = parse_stmts("wg.Wait()\nmu.Lock()\nfmt.Println(1)")
+        assert stmt_is_concurrency(wait)
+        assert stmt_is_concurrency(lock)
+        assert not stmt_is_concurrency(other)
+
+    def test_block_mentions_concurrency(self):
+        file = parse_file(CAPTURE_SOURCE)
+        assert block_mentions_concurrency(file.find_func("Outer").body)
+        quiet = parse_file("package p\nfunc G() int {\n\treturn 1\n}\n")
+        assert not block_mentions_concurrency(quiet.find_func("G").body)
+
+    def test_spawn_sites_include_captured_names(self):
+        file = parse_file(CAPTURE_SOURCE)
+        sites = find_spawn_sites(file)
+        assert len(sites) == 2
+        assert {"total", "limit"} <= sites[0].captured
+
+    def test_find_enclosing_function_resolves_closures(self):
+        file = parse_file(CAPTURE_SOURCE)
+        # Line 8 is inside the first closure.
+        enclosing = find_enclosing_function(file, 8)
+        assert enclosing is not None and enclosing.decl.name == "Outer"
+        assert enclosing.closure is not None
+
+    def test_names_on_lines(self):
+        file = parse_file(CAPTURE_SOURCE)
+        names = names_on_lines(file.find_func("Outer"), [8])
+        assert "total" in names and "limit" in names
+
+    def test_node_line_span_covers_function(self):
+        file = parse_file(CAPTURE_SOURCE)
+        low, high = node_line_span(file.find_func("Outer"))
+        assert low <= 4 and high >= 12
+
+    def test_call_graph(self):
+        source = (
+            "package p\nfunc A() { B() }\nfunc B() { C(); helper.D() }\nfunc C() {}\n"
+        )
+        graph = build_call_graph(parse_file(source))
+        assert "B" in graph["A"]
+        assert {"C", "D"} <= graph["B"]
+
+    def test_lowest_common_ancestor(self):
+        assert lowest_common_ancestor((["main", "A", "B"], ["main", "A", "C"])) == "A"
+        assert lowest_common_ancestor((["main"], ["main"])) == "main"
+        assert lowest_common_ancestor((["x"], ["y"])) is None

@@ -1,0 +1,128 @@
+"""Tests for the simulated LLM, its profiles, and the prompt parser."""
+
+import pytest
+
+from repro.core.prompts import SYSTEM_PROMPT, build_messages, build_user_prompt
+from repro.core.race_info import CodeItem
+from repro.core.config import FixLocation, FixScope
+from repro.llm.base import ChatMessage
+from repro.llm.prompt_parser import parse_fix_prompt
+from repro.llm.simulated import MODEL_PROFILES, SimulatedLLM, make_client
+
+
+def make_item(case, scope=FixScope.FUNCTION) -> CodeItem:
+    report = case.race_report(runs=10)
+    return CodeItem(
+        location=FixLocation.LEAF,
+        scope=scope,
+        file_name=case.racy_file,
+        function_names=[case.racy_function],
+        code=case.racy_source(),
+        racy_variable=case.racy_variable,
+        racy_lines=report.racy_lines(),
+        racy_functions=report.involved_functions(),
+    )
+
+
+class TestPromptRoundTrip:
+    def test_prompt_parses_back_to_the_same_task(self, err_capture_case):
+        item = make_item(err_capture_case)
+        example = (err_capture_case.racy_source(), err_capture_case.fixed_source())
+        user = build_user_prompt(item, example=example, feedback="tests failed: race persists")
+        task = parse_fix_prompt(SYSTEM_PROMPT, user)
+        assert task.code.strip() == item.code.strip()
+        assert task.racy_variable == item.racy_variable
+        assert task.has_example
+        assert task.example[0].strip() == example[0].strip()
+        assert task.feedback == "tests failed: race persists"
+        assert task.racy_functions == item.racy_functions
+
+    def test_prompt_without_example_or_feedback(self, err_capture_case):
+        item = make_item(err_capture_case)
+        task = parse_fix_prompt(SYSTEM_PROMPT, build_user_prompt(item))
+        assert not task.has_example and task.feedback == ""
+
+    def test_scope_is_encoded(self, err_capture_case):
+        item = make_item(err_capture_case, scope=FixScope.FILE)
+        task = parse_fix_prompt(SYSTEM_PROMPT, build_user_prompt(item))
+        assert task.scope == "file"
+
+    def test_messages_have_system_and_user(self, err_capture_case):
+        messages = build_messages(make_item(err_capture_case))
+        assert [m.role for m in messages] == ["system", "user"]
+
+
+class TestModelProfiles:
+    def test_known_profiles_exist(self):
+        assert {"gpt-4-turbo", "gpt-4o", "o1-preview", "oss-code-llama"} <= set(MODEL_PROFILES)
+
+    def test_capability_ordering(self):
+        turbo = MODEL_PROFILES["gpt-4-turbo"]
+        gpt4o = MODEL_PROFILES["gpt-4o"]
+        o1 = MODEL_PROFILES["o1-preview"]
+        assert turbo.base_strategies < o1.base_strategies
+        assert gpt4o.context_capacity < o1.context_capacity
+
+    def test_example_unlocks_guided_strategy(self):
+        profile = MODEL_PROFILES["gpt-4-turbo"]
+        assert "sync_map_convert" not in profile.base_strategies
+        assert "sync_map_convert" in profile.allowed_strategies("sync_map_convert")
+        assert "sync_map_convert" not in profile.allowed_strategies(None)
+
+    def test_make_client_rejects_unknown_model(self):
+        with pytest.raises(KeyError):
+            make_client("gpt-9-ultra")
+
+
+class TestSimulatedCompletion:
+    def test_simple_race_is_fixed_without_an_example(self, err_capture_case):
+        client = make_client("gpt-4o")
+        messages = build_messages(make_item(err_capture_case))
+        response = client.complete(messages)
+        assert not response.refused
+        assert response.strategy == "redeclare"
+        assert response.content != make_item(err_capture_case).code
+
+    def test_complex_race_needs_a_demonstrating_example(self, shard_map_case):
+        item = make_item(shard_map_case, scope=FixScope.FILE)
+        client = make_client("gpt-4o")
+        without = client.complete(build_messages(item))
+        assert without.strategy != "sync_map_convert"
+        example = (shard_map_case.racy_source(), shard_map_case.fixed_source())
+        with_example = client.complete(
+            build_messages(item, example=example,
+                           feedback="the data race is still reported")
+        )
+        assert with_example.strategy == "sync_map_convert"
+        assert with_example.guided_by_example
+
+    def test_unparseable_code_is_refused(self):
+        client = make_client("gpt-4o")
+        response = client.complete([
+            ChatMessage(role="system", content=SYSTEM_PROMPT),
+            ChatMessage(role="user", content="<code>\nthis is not go code {{{\n</code>"),
+        ])
+        assert response.refused
+
+    def test_determinism_for_identical_prompts(self, err_capture_case):
+        client = make_client("gpt-4o")
+        messages = build_messages(make_item(err_capture_case))
+        assert client.complete(messages).content == client.complete(messages).content
+
+    def test_weak_model_cannot_follow_complex_examples(self, shard_map_case):
+        item = make_item(shard_map_case, scope=FixScope.FILE)
+        example = (shard_map_case.racy_source(), shard_map_case.fixed_source())
+        client = make_client("oss-code-llama")
+        response = client.complete(build_messages(item, example=example))
+        assert response.strategy != "sync_map_convert"
+
+    def test_distraction_grows_with_context_and_shrinks_with_feedback(self, err_capture_case):
+        client = make_client("gpt-4-turbo")
+        item = make_item(err_capture_case, scope=FixScope.FILE)
+        task = parse_fix_prompt(SYSTEM_PROMPT, build_user_prompt(item))
+        small_task = parse_fix_prompt(SYSTEM_PROMPT, build_user_prompt(make_item(err_capture_case)))
+        assert client._distraction_probability(task) > client._distraction_probability(small_task)
+        task_with_feedback = parse_fix_prompt(
+            SYSTEM_PROMPT, build_user_prompt(item, feedback="race persists")
+        )
+        assert client._distraction_probability(task_with_feedback) < client._distraction_probability(task)

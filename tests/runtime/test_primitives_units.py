@@ -1,0 +1,228 @@
+"""Unit tests for channels, sync primitives, memory cells, and the scheduler."""
+
+import pytest
+
+from repro.errors import DeadlockError, GoPanic, GoRuntimeError
+from repro.runtime.channels import Channel
+from repro.runtime.goroutine import Goroutine, GoroutineState, STEP, blocked
+from repro.runtime.memory import Cell, Environment
+from repro.runtime.scheduler import Scheduler, SchedulerPolicy
+from repro.runtime.sync_primitives import Mutex, Once, RWMutex, SyncMap, WaitGroup, is_sync_object
+
+
+class TestChannel:
+    def test_buffered_send_receive(self):
+        ch = Channel(capacity=2)
+        assert ch.can_send()
+        ch.send("a")
+        ch.send("b")
+        assert not ch.can_send()
+        assert ch.recv() == ("a", True)
+        assert ch.recv() == ("b", True)
+        assert not ch.can_recv()
+
+    def test_unbuffered_channel_gets_capacity_one(self):
+        assert Channel(capacity=0).capacity == 1
+
+    def test_closed_channel_yields_zero_values(self):
+        ch = Channel(capacity=1)
+        ch.close()
+        assert ch.can_recv()
+        assert ch.recv() == (None, False)
+
+    def test_send_on_closed_channel_panics(self):
+        ch = Channel(capacity=1)
+        ch.close()
+        with pytest.raises(GoPanic):
+            ch.send(1)
+
+    def test_double_close_panics(self):
+        ch = Channel(capacity=1)
+        ch.close()
+        with pytest.raises(GoPanic):
+            ch.close()
+
+
+class TestSyncPrimitives:
+    def test_mutex_lock_unlock_cycle(self):
+        mu = Mutex()
+        assert mu.can_lock()
+        mu.lock(tid=1)
+        assert not mu.can_lock()
+        mu.unlock()
+        assert mu.can_lock()
+
+    def test_unlock_of_unlocked_mutex_raises(self):
+        with pytest.raises(GoRuntimeError):
+            Mutex().unlock()
+
+    def test_rwmutex_readers_exclude_writer(self):
+        mu = RWMutex()
+        mu.rlock()
+        assert not mu.can_lock()
+        assert mu.can_rlock()
+        mu.runlock()
+        mu.lock(tid=1)
+        assert not mu.can_rlock()
+        mu.unlock()
+
+    def test_waitgroup_counter(self):
+        wg = WaitGroup()
+        wg.add(2)
+        assert not wg.ready()
+        wg.done()
+        wg.done()
+        assert wg.ready()
+
+    def test_negative_waitgroup_counter_raises(self):
+        with pytest.raises(GoRuntimeError):
+            WaitGroup().done()
+
+    def test_sync_map_operations(self):
+        m = SyncMap()
+        m.store("a", 1)
+        assert m.load("a") == (1, True)
+        assert m.load("missing") == (None, False)
+        value, loaded = m.load_or_store("a", 99)
+        assert value == 1 and loaded
+        m.delete("a")
+        assert m.load("a") == (None, False)
+        m.store("x", 10)
+        assert m.snapshot() == [("x", 10)]
+
+    def test_once_flags(self):
+        once = Once()
+        assert once.can_enter() and once.should_run()
+        once.done = True
+        assert not once.should_run()
+
+    def test_is_sync_object(self):
+        assert is_sync_object(Mutex()) and is_sync_object(SyncMap())
+        assert not is_sync_object(Cell())
+
+
+class TestMemory:
+    def test_environment_lookup_follows_parent_chain(self):
+        parent = Environment()
+        parent.declare("shared", 1)
+        child = parent.child()
+        child.declare("local", 2)
+        assert child.lookup("shared").value == 1
+        assert parent.lookup("local") is None
+        assert child.is_local("local") and not child.is_local("shared")
+
+    def test_blank_identifier_is_not_stored(self):
+        env = Environment()
+        env.declare("_", 5)
+        assert env.lookup("_") is None
+
+    def test_cells_have_unique_addresses(self):
+        assert Cell().address != Cell().address
+
+    def test_flat_names_prefers_inner_scope(self):
+        parent = Environment()
+        parent.declare("x", 1)
+        child = parent.child()
+        child.declare("x", 2)
+        assert child.flat_names()["x"].value == 2
+
+
+class TestScheduler:
+    def _goroutine(self, gid, gen):
+        return Goroutine(gid=gid, name=f"g{gid}", generator=gen)
+
+    def test_runs_a_single_goroutine_to_completion(self):
+        events = []
+
+        def body():
+            events.append("start")
+            yield STEP
+            events.append("end")
+
+        scheduler = Scheduler(seed=1)
+        main = self._goroutine(scheduler.new_gid(), body())
+        scheduler.register(main)
+        scheduler.run(main)
+        assert events == ["start", "end"]
+        assert main.state is GoroutineState.DONE
+
+    def test_blocked_goroutine_resumes_when_predicate_becomes_true(self):
+        flag = {"ready": False}
+        order = []
+
+        def waiter():
+            while not flag["ready"]:
+                yield blocked(lambda: flag["ready"], "waiting for flag")
+            order.append("waiter")
+
+        def setter():
+            yield STEP
+            flag["ready"] = True
+            order.append("setter")
+
+        scheduler = Scheduler(seed=5)
+        main = self._goroutine(scheduler.new_gid(), waiter())
+        other = self._goroutine(scheduler.new_gid(), setter())
+        scheduler.register(main)
+        scheduler.register(other)
+        scheduler.run(main)
+        assert order == ["setter", "waiter"]
+
+    def test_global_block_is_a_deadlock(self):
+        def stuck():
+            while True:
+                yield blocked(lambda: False, "stuck forever")
+
+        scheduler = Scheduler(seed=2)
+        main = self._goroutine(scheduler.new_gid(), stuck())
+        scheduler.register(main)
+        with pytest.raises(DeadlockError):
+            scheduler.run(main)
+
+    def test_step_budget_is_enforced(self):
+        def spin():
+            while True:
+                yield STEP
+
+        scheduler = Scheduler(seed=2, max_steps=50)
+        main = self._goroutine(scheduler.new_gid(), spin())
+        scheduler.register(main)
+        with pytest.raises(GoRuntimeError):
+            scheduler.run(main)
+
+    def test_same_seed_gives_same_schedule(self):
+        def make_bodies():
+            trace = []
+
+            def worker(name):
+                def body():
+                    for _ in range(3):
+                        trace.append(name)
+                        yield STEP
+                return body
+
+            return trace, worker
+
+        schedules = []
+        for _ in range(2):
+            trace, worker = make_bodies()
+            scheduler = Scheduler(seed=99, policy=SchedulerPolicy.RANDOM)
+            main = self._goroutine(scheduler.new_gid(), worker("a")())
+            other = self._goroutine(scheduler.new_gid(), worker("b")())
+            scheduler.register(main)
+            scheduler.register(other)
+            scheduler.run(main)
+            schedules.append(tuple(trace))
+        assert schedules[0] == schedules[1]
+
+    def test_failed_goroutines_are_recorded(self):
+        def failing():
+            yield STEP
+            raise GoRuntimeError("boom")
+
+        scheduler = Scheduler(seed=1)
+        main = self._goroutine(scheduler.new_gid(), failing())
+        scheduler.register(main)
+        scheduler.run(main)
+        assert main.state is GoroutineState.FAILED
+        assert scheduler.failures and "boom" in str(scheduler.failures[0])

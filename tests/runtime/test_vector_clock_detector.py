@@ -1,0 +1,157 @@
+"""Unit tests for vector clocks and the FastTrack-style detector."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.memory import Cell
+from repro.runtime.race_detector import AccessRecord, RaceDetector
+from repro.runtime.vector_clock import Epoch, SyncVar, VectorClock
+
+
+def record(tid: int, write: bool = True) -> AccessRecord:
+    return AccessRecord(goroutine_id=tid, is_write=write,
+                        stack=(("F", "f.go", 1),), variable="x", address=1)
+
+
+class TestVectorClock:
+    def test_increment_and_get(self):
+        clock = VectorClock()
+        clock.increment(3)
+        clock.increment(3)
+        assert clock.get(3) == 2 and clock.get(7) == 0
+
+    def test_join_takes_componentwise_max(self):
+        a = VectorClock({1: 5, 2: 1})
+        b = VectorClock({1: 2, 3: 4})
+        a.join(b)
+        assert a.get(1) == 5 and a.get(2) == 1 and a.get(3) == 4
+
+    def test_dominates(self):
+        a = VectorClock({1: 3, 2: 2})
+        b = VectorClock({1: 1, 2: 2})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_epoch_happens_before(self):
+        clock = VectorClock({4: 7})
+        assert Epoch(4, 7).happens_before(clock)
+        assert not Epoch(4, 8).happens_before(clock)
+
+    def test_equality_ignores_zero_entries(self):
+        assert VectorClock({1: 2, 5: 0}) == VectorClock({1: 2})
+
+    @given(st.dictionaries(st.integers(1, 6), st.integers(0, 20), max_size=5),
+           st.dictionaries(st.integers(1, 6), st.integers(0, 20), max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_join_is_least_upper_bound(self, left, right):
+        a = VectorClock(left)
+        b = VectorClock(right)
+        joined = a.copy()
+        joined.join(b)
+        assert joined.dominates(a) and joined.dominates(b)
+        for tid in set(left) | set(right):
+            assert joined.get(tid) == max(left.get(tid, 0), right.get(tid, 0))
+
+
+class TestSyncVar:
+    def test_release_acquire_transfers_knowledge(self):
+        sync = SyncVar()
+        releaser = VectorClock({1: 4})
+        acquirer = VectorClock({2: 1})
+        sync.release(releaser)
+        sync.acquire(acquirer)
+        assert acquirer.get(1) == 4
+
+
+class TestRaceDetector:
+    def test_unordered_write_write_is_a_race(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        detector.register_goroutine(2)
+        detector.on_write(1, cell, record(1))
+        detector.on_write(2, cell, record(2))
+        assert detector.has_races()
+
+    def test_fork_edge_orders_parent_before_child(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        detector.on_write(1, cell, record(1))
+        detector.on_fork(1, 2)
+        detector.on_write(2, cell, record(2))
+        assert not detector.has_races()
+
+    def test_child_write_after_fork_races_with_parent_later_write(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        detector.on_fork(1, 2)
+        detector.on_write(2, cell, record(2))
+        detector.on_write(1, cell, record(1))
+        assert detector.has_races()
+
+    def test_lock_release_acquire_orders_accesses(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        mutex = SyncVar()
+        detector.register_goroutine(1)
+        detector.register_goroutine(2)
+        detector.on_fork(1, 2)
+        detector.on_acquire(1, mutex)
+        detector.on_write(1, cell, record(1))
+        detector.on_release(1, mutex)
+        detector.on_acquire(2, mutex)
+        detector.on_write(2, cell, record(2))
+        detector.on_release(2, mutex)
+        assert not detector.has_races()
+
+    def test_read_read_is_not_a_race(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        detector.register_goroutine(2)
+        detector.on_read(1, cell, record(1, write=False))
+        detector.on_read(2, cell, record(2, write=False))
+        assert not detector.has_races()
+
+    def test_unordered_read_then_write_is_a_race(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        detector.register_goroutine(2)
+        detector.on_read(1, cell, record(1, write=False))
+        detector.on_write(2, cell, record(2))
+        assert detector.has_races()
+
+    def test_synchronized_cells_are_ignored(self):
+        detector = RaceDetector()
+        cell = Cell(name="internal", synchronized=True)
+        detector.on_write(1, cell, record(1))
+        detector.on_write(2, cell, record(2))
+        assert not detector.has_races()
+
+    def test_duplicate_races_are_deduplicated(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.on_write(1, cell, record(1))
+        detector.on_write(2, cell, record(2))
+        detector.on_write(1, cell, record(1))
+        detector.on_write(2, cell, record(2))
+        assert len(detector.races) == 1
+
+    def test_join_edge_clears_race(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.on_fork(1, 2)
+        detector.on_write(2, cell, record(2))
+        detector.on_join(1, 2)
+        detector.on_write(1, cell, record(1))
+        assert not detector.has_races()
+
+    def test_reset_clears_state(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.on_write(1, cell, record(1))
+        detector.on_write(2, cell, record(2))
+        detector.reset()
+        assert not detector.has_races()

@@ -1,0 +1,135 @@
+"""Tests for the CLI entry points and the shared error hierarchy."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.cli import build_parser, main
+from repro.errors import (
+    ConfigError,
+    CorpusError,
+    DeadlockError,
+    GoPanic,
+    GoRuntimeError,
+    GoSyntaxError,
+    LLMError,
+    PatchError,
+    ReproError,
+    RetrievalError,
+    ValidationError,
+)
+
+
+class TestErrors:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc_type in (GoSyntaxError, GoRuntimeError, GoPanic, DeadlockError,
+                         ValidationError, PatchError, RetrievalError, CorpusError,
+                         LLMError, ConfigError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_syntax_error_carries_position(self):
+        error = GoSyntaxError("unexpected token", filename="svc.go", line=4, column=9)
+        assert "svc.go:4:9" in str(error)
+        assert error.line == 4 and error.column == 9
+
+    def test_panic_is_a_runtime_error(self):
+        assert issubclass(GoPanic, GoRuntimeError)
+
+    def test_version_is_exposed(self):
+        assert __version__
+
+
+RACY_GO = """
+package demo
+
+import "sync"
+
+func Run(items []string) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, item := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total = total + len(item)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+"""
+
+RACY_TEST = """
+package demo
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	Run([]string{"a", "bb", "ccc"})
+}
+"""
+
+
+@pytest.fixture
+def racy_dir(tmp_path: Path) -> Path:
+    (tmp_path / "run.go").write_text(RACY_GO)
+    (tmp_path / "run_test.go").write_text(RACY_TEST)
+    return tmp_path
+
+
+class TestCLI:
+    def test_parser_declares_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("corpus", "detect", "fix", "evaluate"):
+            assert command in text
+
+    def test_detect_reports_the_race(self, racy_dir, capsys):
+        exit_code = main(["detect", str(racy_dir), "--runs", "10"])
+        captured = capsys.readouterr().out
+        assert exit_code == 1
+        assert "DATA RACE" in captured
+        assert "stable bug hash" in captured
+
+    def test_fix_produces_and_writes_a_patch(self, racy_dir, capsys):
+        exit_code = main([
+            "fix", str(racy_dir), "--model", "gpt-4o", "--runs", "10",
+            "--no-rag", "--write",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fixed via" in captured
+        patched = (racy_dir / "run.go").read_text()
+        assert "item := item" in patched
+        # After writing the patch the detector no longer finds the race.
+        assert main(["detect", str(racy_dir), "--runs", "10"]) == 0
+
+    def test_detect_on_clean_directory(self, tmp_path, capsys):
+        (tmp_path / "lib.go").write_text("package demo\n\nfunc Two() int {\n\treturn 2\n}\n")
+        (tmp_path / "lib_test.go").write_text(
+            "package demo\n\nimport \"testing\"\n\nfunc TestTwo(t *testing.T) {\n"
+            "\tif Two() != 2 {\n\t\tt.Errorf(\"wrong\")\n\t}\n}\n"
+        )
+        assert main(["detect", str(tmp_path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fix_on_clean_directory_is_a_noop(self, tmp_path, capsys):
+        (tmp_path / "lib.go").write_text("package demo\n\nfunc Two() int {\n\treturn 2\n}\n")
+        assert main(["fix", str(tmp_path), "--no-rag"]) == 0
+        assert "nothing to fix" in capsys.readouterr().out
+
+    def test_missing_directory_exits_with_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["detect", str(tmp_path / "empty")])
+
+    def test_corpus_command_writes_packages(self, tmp_path, capsys):
+        exit_code = main(["corpus", "--scale", "0.05", "--output", str(tmp_path / "corpus")])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "evaluation cases" in captured
+        written = list((tmp_path / "corpus").rglob("*.go"))
+        assert written, "expected corpus .go files to be written"
