@@ -1,6 +1,6 @@
 """Design-choice ablation: retrieval precision with vs without skeletonization.
 
-This isolates the retrieval component (DESIGN.md §5.1): how often the nearest
+This isolates the retrieval component (docs/architecture.md §Design choices, retrieval isolation): how often the nearest
 example demonstrates the same repair strategy as the query's ground truth.
 """
 

@@ -3,8 +3,15 @@
 Every benchmark regenerates one table or figure of the paper.  They share a
 single :class:`~repro.evaluation.runner.ExperimentContext` (one corpus, one
 pair of example databases, cached per-arm pipeline runs) so the whole suite
-runs in minutes; raise ``DRFIX_BENCH_SCALE`` for a bigger corpus when more
-statistical resolution is wanted (the EXPERIMENTS.md numbers use the default).
+runs in minutes.  Three environment knobs tune the harness (see EXPERIMENTS.md
+for the measured effect of each):
+
+* ``DRFIX_BENCH_SCALE`` — corpus size as a fraction of the full corpus
+  (default 0.45; the EXPERIMENTS.md numbers use the default);
+* ``DRFIX_JOBS`` — parallel case-evaluation workers (default 1);
+* ``DRFIX_CACHE_DIR`` — persistent run-store directory; when set, per-case
+  results are cached on disk and a rerun of the suite reuses them instead of
+  recomputing every arm.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ def context() -> ExperimentContext:
     return ExperimentContext(
         corpus_config=corpus_config,
         base_config=DrFixConfig(model="gpt-4o"),
+        cache_dir=os.environ.get("DRFIX_CACHE_DIR") or None,
     )
 
 

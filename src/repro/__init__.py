@@ -25,6 +25,28 @@ Quick start::
     print(outcome.fixed, outcome.strategy)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from repro.core.config import DrFixConfig, FixLocation, FixScope
+from repro.core.database import ExampleDatabase
+from repro.core.pipeline import DrFix, FixOutcome
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.evaluation.runner import EvaluationRunner, ExperimentContext
+from repro.runtime.harness import GoFile, GoPackage, run_package_tests
+
+__all__ = [
+    "__version__",
+    "DrFix",
+    "DrFixConfig",
+    "FixLocation",
+    "FixScope",
+    "FixOutcome",
+    "ExampleDatabase",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "EvaluationRunner",
+    "ExperimentContext",
+    "GoFile",
+    "GoPackage",
+    "run_package_tests",
+]

@@ -6,23 +6,34 @@ Subcommands:
 * ``drfix detect``     — run the race detector over a directory of ``.go`` files;
 * ``drfix fix``        — run the full pipeline on a directory of ``.go`` files;
 * ``drfix evaluate``   — regenerate every table and figure of the paper;
-* ``drfix report``     — same as ``evaluate`` but writes a Markdown report.
+* ``drfix bench``      — measure the parallel/cached evaluation engine's speedup.
+
+``evaluate`` and ``bench`` accept ``--jobs N`` (parallel case evaluation; also
+settable via ``DRFIX_JOBS``) and ``--cache-dir DIR`` (persistent run store that
+reuses per-case results across invocations).
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
+import os
 import sys
+import tempfile
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import DrFixConfig
+from repro.errors import ConfigError
 from repro.core.database import ExampleDatabase
 from repro.core.pipeline import DrFix
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.evaluation.executor import JOBS_ENV_VAR, resolve_jobs
 from repro.evaluation.experiments import all_experiment_tables
 from repro.evaluation.reporting import render_report
-from repro.evaluation.runner import ExperimentContext
+from repro.evaluation.runner import EvaluationRunner, ExperimentContext
+from repro.evaluation.store import RunStore, corpus_fingerprint
 from repro.runtime.harness import GoFile, GoPackage, run_package_tests
 
 
@@ -109,14 +120,73 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     context = ExperimentContext(
         corpus_config=_corpus_config(args),
         base_config=DrFixConfig(model=args.model),
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
     )
     tables = all_experiment_tables(context)
     report = render_report(tables)
     print(report)
+    if context.store is not None:
+        print(f"run store: {context.store.hits} hits, {context.store.misses} misses "
+              f"({context.store.root})")
     if args.output:
         markdown = "\n\n".join(table.render_markdown() for table in tables)
         Path(args.output).write_text(markdown)
         print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Measure the evaluation engine: parallel speedup and cache speedup.
+
+    Builds one corpus + database, then times the same arm four ways — serial
+    cold, parallel cold, store-cold, store-warm — on independent copies of the
+    cases (so per-case detection caches cannot leak between phases), and
+    checks that every phase produces identical metrics.
+    """
+    # Benchmarking parallelism with one worker would be meaningless, so with
+    # no --jobs and no DRFIX_JOBS the parallel phase uses every CPU.
+    explicit = args.jobs is not None or os.environ.get(JOBS_ENV_VAR, "").strip()
+    jobs = resolve_jobs(args.jobs) if explicit else resolve_jobs(-1)
+    context = ExperimentContext(
+        corpus_config=_corpus_config(args),
+        base_config=DrFixConfig(model=args.model),
+    )
+    cases = context.dataset.evaluation
+    print(f"corpus: {len(cases)} evaluation cases (scale {args.scale})")
+
+    def timed_run(label, jobs_, executor, store=None):
+        runner = EvaluationRunner(
+            context.base_config, context.skeleton_database, context.reviewer,
+            jobs=jobs_, executor=executor, store=store,
+        )
+        fresh = copy.deepcopy(cases)
+        start = time.perf_counter()
+        run = runner.run(fresh, label=label)
+        elapsed = time.perf_counter() - start
+        return run, elapsed
+
+    serial_run, serial_s = timed_run("serial", 1, "serial")
+    print(f"serial          {serial_s:8.2f}s   {serial_run.fix_rate()}")
+
+    parallel_run, parallel_s = timed_run("parallel", jobs, args.executor or "process")
+    print(f"{parallel_run.executor_label:<15} {parallel_s:8.2f}s   "
+          f"{parallel_run.fix_rate()}   speedup ×{serial_s / max(parallel_s, 1e-9):.2f}")
+
+    cache_root = args.cache_dir or tempfile.mkdtemp(prefix="drfix-bench-")
+    store = RunStore(cache_root, namespace=corpus_fingerprint(context.corpus_config))
+    cold_run, cold_s = timed_run("store-cold", 1, "serial", store=store)
+    warm_run, warm_s = timed_run("store-warm", 1, "serial", store=store)
+    print(f"store cold      {cold_s:8.2f}s   ({cold_run.cache_misses} misses)")
+    print(f"store warm      {warm_s:8.2f}s   ({warm_run.cache_hits} hits)   "
+          f"speedup ×{cold_s / max(warm_s, 1e-9):.2f}")
+
+    rates = {str(run.fix_rate()) for run in (serial_run, parallel_run, cold_run, warm_run)}
+    if len(rates) != 1:
+        print(f"DETERMINISM MISMATCH: {sorted(rates)}")
+        return 1
+    print(f"determinism: all four runs report {serial_run.fix_rate()}")
     return 0
 
 
@@ -151,15 +221,41 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", type=float, default=0.25)
     evaluate.add_argument("--model", default="gpt-4o")
     evaluate.add_argument("--output", help="write a Markdown report to this path")
+    _add_engine_flags(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
+    bench = sub.add_parser(
+        "bench", help="benchmark the evaluation engine (parallel and cache speedup)"
+    )
+    bench.add_argument("--scale", type=float, default=0.12,
+                       help="fraction of the full corpus size (default 0.12)")
+    bench.add_argument("--model", default="gpt-4o")
+    _add_engine_flags(bench)
+    bench.set_defaults(func=cmd_bench)
+
     return parser
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel case-evaluation workers "
+                             "(default: DRFIX_JOBS or 1; negative = all CPUs)")
+    parser.add_argument("--executor", choices=["serial", "thread", "process"],
+                        default=None,
+                        help="execution backend (default: process when --jobs > 1)")
+    parser.add_argument("--cache-dir",
+                        help="persistent run-store directory; per-case results are "
+                             "cached there and reused across invocations")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ConfigError, OSError) as exc:
+        print(f"drfix: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,7 +46,7 @@ class DrFixConfig:
     final_feedback_retry: bool = True
     #: Number of scheduler-seeded test executions used by the validator (the
     #: paper runs package tests 1000×; the interpreter needs far fewer seeds
-    #: to re-expose these races — see DESIGN.md).
+    #: to re-expose these races — see docs/architecture.md §Design choices).
     validator_runs: int = 10
     validator_seed: int = 0
     #: Number of detection runs when reproducing a race from a report.
@@ -57,6 +57,14 @@ class DrFixConfig:
     external_prefixes: Tuple[str, ...] = ("vendor/", "external/", "third_party/")
     #: Embedder settings shared by the database and query sides.
     embedder: EmbedderConfig = field(default_factory=EmbedderConfig)
+    #: Evaluation worker count: 0 resolves from ``DRFIX_JOBS`` (default 1),
+    #: negative means one worker per CPU.  Execution-only — does not change
+    #: results and is excluded from the run-store fingerprint.
+    jobs: int = 0
+    #: Derive each evaluation case's scheduler/validator seed from
+    #: (``validator_seed``, case id) instead of sharing ``validator_seed``
+    #: verbatim, making per-case randomness independent of execution order.
+    per_case_seeds: bool = False
 
     # ------------------------------------------------------------------
 
@@ -76,6 +84,12 @@ class DrFixConfig:
 
     def with_model(self, model: str) -> "DrFixConfig":
         return replace(self, model=model)
+
+    def with_jobs(self, jobs: int) -> "DrFixConfig":
+        return replace(self, jobs=jobs)
+
+    def with_per_case_seeds(self, enabled: bool = True) -> "DrFixConfig":
+        return replace(self, per_case_seeds=enabled)
 
     def without_rag(self) -> "DrFixConfig":
         return replace(self, use_rag=False)

@@ -12,12 +12,13 @@ injected per seed so that raw-text retrieval degrades while skeleton-based
 retrieval does not — the property Figure 3 measures.
 """
 
-from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.ground_truth import CaseFilter, Difficulty, RaceCase
 from repro.corpus.generator import CorpusGenerator, CorpusConfig
 from repro.corpus.dataset import Dataset, CorpusStatistics
 
 __all__ = [
     "RaceCase",
+    "CaseFilter",
     "Difficulty",
     "CorpusGenerator",
     "CorpusConfig",

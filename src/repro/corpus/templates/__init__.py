@@ -79,3 +79,11 @@ def all_templates() -> List[TemplateFn]:
         result.extend(templates)
     result.extend(UNFIXABLE_TEMPLATES)
     return result
+
+
+__all__ = [
+    "TemplateFn",
+    "TEMPLATE_REGISTRY",
+    "UNFIXABLE_TEMPLATES",
+    "all_templates",
+]

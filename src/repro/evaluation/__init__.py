@@ -2,22 +2,42 @@
 
 * :mod:`repro.evaluation.metrics`    — fix rates, category breakdowns, percentiles;
 * :mod:`repro.evaluation.runner`     — run the pipeline over an evaluation split;
+* :mod:`repro.evaluation.executor`   — serial/thread/process case executors
+  (``--jobs`` / ``DRFIX_JOBS``) with deterministic result ordering;
+* :mod:`repro.evaluation.store`      — the persistent run store: per-case results
+  cached on disk by (case id, configuration fingerprint);
 * :mod:`repro.evaluation.ablation`   — the RQ2/RQ3 ablation arms (Figures 3-4, LCA, models);
 * :mod:`repro.evaluation.survey`     — the RQ4 developer-survey table;
 * :mod:`repro.evaluation.experiments`— one function per table/figure;
 * :mod:`repro.evaluation.reporting`  — plain-text/markdown table rendering.
 """
 
+from repro.evaluation.executor import CaseExecutor, ExecutorKind, resolve_jobs
 from repro.evaluation.metrics import FixRate, percentile
-from repro.evaluation.runner import CaseResult, EvaluationRunner, ExperimentContext
+from repro.evaluation.runner import (
+    CaseResult,
+    EvaluationRun,
+    EvaluationRunner,
+    ExperimentContext,
+    evaluate_single_case,
+)
 from repro.evaluation.reporting import Table, format_table
+from repro.evaluation.store import RunStore, config_fingerprint, corpus_fingerprint
 
 __all__ = [
+    "CaseExecutor",
+    "ExecutorKind",
+    "resolve_jobs",
     "FixRate",
     "percentile",
     "CaseResult",
+    "EvaluationRun",
     "EvaluationRunner",
     "ExperimentContext",
+    "evaluate_single_case",
     "Table",
     "format_table",
+    "RunStore",
+    "config_fingerprint",
+    "corpus_fingerprint",
 ]

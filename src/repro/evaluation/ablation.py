@@ -112,7 +112,7 @@ def skeleton_noise_ablation(context: ExperimentContext) -> Dict[str, float]:
     Measures how often the nearest retrieved example demonstrates the same
     repair strategy as the query case's ground truth, using the two databases
     the context already built.  This isolates the retrieval component from the
-    rest of the pipeline (DESIGN.md §5.1).
+    rest of the pipeline (docs/architecture.md §Design choices, retrieval isolation).
     """
     totals = {"skeleton": 0, "raw": 0}
     hits = {"skeleton": 0, "raw": 0}

@@ -1,0 +1,267 @@
+"""Persistent run store: cache per-case pipeline results across processes.
+
+Regenerating the paper's tables runs the same (case, configuration) pairs over
+and over — Table 3, RQ1, Figure 4 and the LCA ablation all need the "full"
+arm, every benchmark session rebuilds it, and ``drfix evaluate`` recomputes
+everything from scratch.  :class:`RunStore` caches each
+:class:`~repro.evaluation.runner.CaseResult` as one JSON file keyed by
+
+* a **namespace** (by convention the corpus fingerprint, so corpora of
+  different shapes never share entries),
+* the **configuration fingerprint** — a stable hash of every result-affecting
+  field of :class:`~repro.core.config.DrFixConfig` (execution-only knobs such
+  as ``jobs`` are excluded: they change wall-clock, not results),
+* the **case id**.
+
+Layout on disk::
+
+    <root>/<namespace>/<config-fingerprint>/<case-id>.json
+
+Entries carry a format version; changing the serialisation bumps
+:data:`STORE_VERSION` which changes every fingerprint and cleanly invalidates
+old caches.  Writes are atomic (temp file + ``os.replace``) so concurrent
+workers never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.core.config import DrFixConfig
+from repro.core.patcher import Patch
+from repro.core.pipeline import FixAttempt, FixOutcome
+from repro.core.review import ReviewDecision
+from repro.corpus.ground_truth import RaceCase
+from repro.runtime.harness import GoFile, GoPackage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports store)
+    from repro.evaluation.runner import CaseResult
+
+#: Bump when the serialised shape of a cache entry changes.
+STORE_VERSION = 1
+
+#: DrFixConfig fields that change how fast a run executes but not what it
+#: computes; they are excluded from the fingerprint so a parallel run hits the
+#: cache entries a serial run wrote.
+EXECUTION_ONLY_FIELDS = frozenset({"jobs"})
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a config value to a JSON-stable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if hasattr(value, "value") and value.__class__.__module__ != "builtins":
+        return _canonical(value.value)  # enums
+    return value
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=10).hexdigest()
+
+
+def config_fingerprint(config: DrFixConfig) -> str:
+    """A stable hash of every result-affecting configuration field."""
+    payload = {
+        name: value
+        for name, value in _canonical(config).items()
+        if name not in EXECUTION_ONLY_FIELDS
+    }
+    payload["__store_version__"] = STORE_VERSION
+    return _digest(payload)
+
+
+def corpus_fingerprint(corpus_config: Any) -> str:
+    """A stable hash of the corpus configuration (used as the store namespace)."""
+    return _digest({"corpus": _canonical(corpus_config)})
+
+
+# ---------------------------------------------------------------------------
+# CaseResult (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def serialize_case_result(result: "CaseResult") -> Dict[str, Any]:
+    """Reduce a :class:`CaseResult` to a JSON-serialisable dict.
+
+    The case itself is *not* stored (the caller re-attaches the live corpus
+    case on load); the patch stores only the changed files' sources, with the
+    unchanged files reconstructed from the case's racy package.
+    """
+    outcome = result.outcome
+    patch = None
+    if outcome.patch is not None:
+        patch = {
+            "changed_files": list(outcome.patch.changed_files),
+            "sources": {
+                name: file.source
+                for name in outcome.patch.changed_files
+                for file in [outcome.patch.package.file(name)]
+                if file is not None
+            },
+        }
+    review = None
+    if result.review is not None:
+        review = {
+            "accepted": result.review.accepted,
+            "reason": result.review.reason,
+            "requires_refinement": result.review.requires_refinement,
+        }
+    return {
+        "version": STORE_VERSION,
+        "case_id": result.case.case_id,
+        "reproduced": result.reproduced,
+        "review": review,
+        "outcome": {
+            "bug_hash": outcome.bug_hash,
+            "fixed": outcome.fixed,
+            "strategy": outcome.strategy,
+            "location": outcome.location,
+            "scope": outcome.scope,
+            "guided_by_example": outcome.guided_by_example,
+            "example_id": outcome.example_id,
+            "lines_changed": outcome.lines_changed,
+            "duration_seconds": outcome.duration_seconds,
+            "failure_reason": outcome.failure_reason,
+            "model_calls": outcome.model_calls,
+            "validations": outcome.validations,
+            "attempts": [dataclasses.asdict(attempt) for attempt in outcome.attempts],
+            "patch": patch,
+        },
+    }
+
+
+def deserialize_case_result(data: Dict[str, Any], case: RaceCase) -> "CaseResult":
+    """Rebuild a :class:`CaseResult` for ``case`` from its stored form."""
+    from repro.evaluation.runner import CaseResult
+
+    raw_outcome = data["outcome"]
+    patch = None
+    raw_patch = raw_outcome.get("patch")
+    if raw_patch is not None:
+        sources = dict(raw_patch["sources"])
+        files = [
+            GoFile(name=file.name, source=sources.pop(file.name, file.source))
+            for file in case.package.files
+        ]
+        files.extend(GoFile(name=name, source=source) for name, source in sources.items())
+        patch = Patch(
+            package=GoPackage(name=case.package.name, files=files),
+            changed_files=list(raw_patch["changed_files"]),
+        )
+    outcome = FixOutcome(
+        bug_hash=raw_outcome["bug_hash"],
+        fixed=raw_outcome["fixed"],
+        patch=patch,
+        strategy=raw_outcome["strategy"],
+        location=raw_outcome["location"],
+        scope=raw_outcome["scope"],
+        guided_by_example=raw_outcome["guided_by_example"],
+        example_id=raw_outcome["example_id"],
+        lines_changed=raw_outcome["lines_changed"],
+        attempts=[FixAttempt(**attempt) for attempt in raw_outcome["attempts"]],
+        duration_seconds=raw_outcome["duration_seconds"],
+        failure_reason=raw_outcome["failure_reason"],
+        model_calls=raw_outcome["model_calls"],
+        validations=raw_outcome["validations"],
+    )
+    review = None
+    if data.get("review") is not None:
+        review = ReviewDecision(**data["review"])
+    return CaseResult(
+        case=case, outcome=outcome, review=review, reproduced=data["reproduced"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class RunStore:
+    """Disk-backed cache of per-case evaluation results."""
+
+    def __init__(self, root: "Path | str", namespace: str = "default"):
+        self.root = Path(root)
+        self.namespace = namespace
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, config_fp: str, case_id: str) -> Path:
+        return self.root / self.namespace / config_fp / f"{case_id}.json"
+
+    def load(self, case: RaceCase, config_fp: str) -> Optional["CaseResult"]:
+        """The cached result for (case, fingerprint), or ``None`` on a miss.
+
+        Unreadable or stale-format entries count as misses and are ignored.
+        """
+        path = self._path(config_fp, case.case_id)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("version") != STORE_VERSION or data.get("case_id") != case.case_id:
+            self.misses += 1
+            return None
+        try:
+            result = deserialize_case_result(data, case)
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, result: "CaseResult", config_fp: str) -> Path:
+        """Atomically persist one case result; returns the entry's path."""
+        path = self._path(config_fp, result.case.case_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(serialize_case_result(result), sort_keys=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+
+    def entry_count(self, config_fp: Optional[str] = None) -> int:
+        """Number of stored entries (optionally for one fingerprint only)."""
+        base = self.root / self.namespace
+        if config_fp is not None:
+            base = base / config_fp
+        if not base.exists():
+            return 0
+        return sum(1 for _ in base.rglob("*.json"))
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+__all__ = [
+    "STORE_VERSION",
+    "RunStore",
+    "config_fingerprint",
+    "corpus_fingerprint",
+    "deserialize_case_result",
+    "serialize_case_result",
+]

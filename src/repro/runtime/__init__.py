@@ -23,13 +23,21 @@ ThreadSanitizer runtime) in the Dr.Fix pipeline.  It provides:
 """
 
 from repro.runtime.race_report import RaceReport, StackFrame
-from repro.runtime.harness import GoTestHarness, PackageRunResult, run_package_tests
+from repro.runtime.harness import (
+    GoFile,
+    GoPackage,
+    GoTestHarness,
+    PackageRunResult,
+    run_package_tests,
+)
 from repro.runtime.interpreter import Interpreter, ProgramResult
 from repro.runtime.scheduler import Scheduler, SchedulerPolicy
 
 __all__ = [
     "RaceReport",
     "StackFrame",
+    "GoFile",
+    "GoPackage",
     "GoTestHarness",
     "PackageRunResult",
     "run_package_tests",

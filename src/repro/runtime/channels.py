@@ -15,7 +15,7 @@ class Channel:
 
     Unbuffered channels are modelled with capacity one (the send → receive
     happens-before edge is preserved; only the rendezvous back-pressure is
-    relaxed, see DESIGN.md).  ``sync`` carries the channel's vector clock so
+    relaxed, see docs/architecture.md §Design choices).  ``sync`` carries the channel's vector clock so
     that a value received always happens-after the send that produced it and
     after ``close``.
     """

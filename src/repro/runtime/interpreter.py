@@ -7,7 +7,7 @@ decides which goroutine advances next.  Memory accesses are routed through the
 :class:`~repro.runtime.race_detector.RaceDetector`, which is how the
 reproduction stands in for ``go test -race``.
 
-Deliberate semantic choices (documented in DESIGN.md):
+Deliberate semantic choices (documented in docs/architecture.md §Design choices):
 
 * loop variables have **per-loop** scope (Go ≤ 1.21 semantics), because the
   paper's "capture of loop variable" race category depends on it;

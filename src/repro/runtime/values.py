@@ -123,7 +123,7 @@ class ChannelValue(GoValue):
         # Unbuffered channels are modelled with capacity one.  The
         # happens-before edge from send to receive is preserved; only the
         # "send blocks until a receiver is ready" back-pressure is relaxed,
-        # which no corpus program relies on.  Documented in DESIGN.md.
+        # which no corpus program relies on.  Documented in docs/architecture.md §Design choices.
         if self.capacity <= 0:
             self.capacity = 1
 

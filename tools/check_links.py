@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Docs link checker: verify relative Markdown links and anchors resolve.
+
+Scans the repository's Markdown documentation for inline links
+(``[text](target)``), skips external (``http(s)://``, ``mailto:``) targets,
+and fails if a relative target does not exist on disk or a ``#anchor``
+fragment does not match a heading in the target file (GitHub slug rules:
+lowercase, spaces to dashes, punctuation dropped).
+
+Usage::
+
+    python tools/check_links.py [files-or-dirs ...]   # default: repo docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_TARGETS = ["README.md", "EXPERIMENTS.md", "ROADMAP.md", "docs"]
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    counts: dict = {}
+    for match in HEADING_RE.finditer(path.read_text(encoding="utf-8")):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def markdown_files(targets: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for target in targets:
+        path = REPO_ROOT / target
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Return (link, problem) pairs for every broken link in ``path``."""
+    problems: List[Tuple[str, str]] = []
+    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            problems.append((target, "target does not exist"))
+            continue
+        if anchor and dest.suffix == ".md" and anchor not in heading_slugs(dest):
+            problems.append((target, f"no heading with anchor #{anchor} in {dest.name}"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    files = markdown_files(argv or DEFAULT_TARGETS)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for link, problem in check_file(path):
+            failures += 1
+            print(f"{path.relative_to(REPO_ROOT)}: broken link {link!r}: {problem}")
+    print(f"checked {len(files)} files: "
+          f"{'all links ok' if not failures else f'{failures} broken links'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
