@@ -25,7 +25,7 @@ Quick start::
     print(outcome.fixed, outcome.strategy)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core.config import DrFixConfig, FixLocation, FixScope
 from repro.core.database import ExampleDatabase

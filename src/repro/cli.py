@@ -10,7 +10,11 @@ Subcommands:
 
 ``evaluate`` and ``bench`` accept ``--jobs N`` (parallel case evaluation; also
 settable via ``DRFIX_JOBS``) and ``--cache-dir DIR`` (persistent run store that
-reuses per-case results across invocations).
+reuses per-case results across invocations).  ``detect`` parallelises the
+per-seed interleaving runs themselves (``--jobs``, ``--fail-fast``), and
+``fix`` validates the candidate patches of each (location, scope) batch
+concurrently (``--jobs``) — all worker layers share the ``DRFIX_NESTED_BUDGET``
+budget so nesting never oversubscribes the machine.
 """
 
 from __future__ import annotations
@@ -76,7 +80,13 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     package = _load_package(args.path)
-    result = run_package_tests(package, runs=args.runs)
+    result = run_package_tests(
+        package,
+        runs=args.runs,
+        jobs=args.jobs,
+        executor=args.executor,
+        stop_on_first_race=args.fail_fast,
+    )
     print(result.summary())
     for report in result.reports:
         print()
@@ -88,6 +98,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
 def cmd_fix(args: argparse.Namespace) -> int:
     package = _load_package(args.path)
     config = DrFixConfig(model=args.model)
+    if args.adaptive_runs:
+        config = config.with_adaptive_runs()
     detection = run_package_tests(package, runs=args.runs)
     if not detection.reports:
         print("no data race detected; nothing to fix")
@@ -96,7 +108,7 @@ def cmd_fix(args: argparse.Namespace) -> int:
     if not args.no_rag:
         corpus = CorpusGenerator(CorpusConfig().scaled(args.scale)).generate()
         database = ExampleDatabase.from_cases(corpus.db_examples, config)
-    pipeline = DrFix(package, config=config, database=database)
+    pipeline = DrFix(package, config=config, database=database, jobs=args.jobs)
     exit_code = 1
     for report in detection.reports:
         print(f"== fixing race {report.bug_hash()} on `{report.variable}` ==")
@@ -186,6 +198,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if len(rates) != 1:
         print(f"DETERMINISM MISMATCH: {sorted(rates)}")
         return 1
+    fixed = serial_run.fix_rate().fixed
+    best_s = min(parallel_s, warm_s)
+    print(f"fix throughput: serial {fixed / max(serial_s, 1e-9):.2f} fixes/s, "
+          f"{parallel_run.executor_label} {fixed / max(parallel_s, 1e-9):.2f}, "
+          f"store-warm {fixed / max(warm_s, 1e-9):.2f} "
+          f"(best ×{serial_s / max(best_s, 1e-9):.1f} vs serial)")
     print(f"determinism: all four runs report {serial_run.fix_rate()}")
     return 0
 
@@ -206,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
     detect = sub.add_parser("detect", help="run the race detector over a directory of .go files")
     detect.add_argument("path")
     detect.add_argument("--runs", type=int, default=12)
+    detect.add_argument("--jobs", type=int, default=1,
+                        help="parallel interleaving-run workers (negative = all CPUs)")
+    detect.add_argument("--executor", choices=["serial", "thread", "process"],
+                        default=None, help="execution backend for the runs")
+    detect.add_argument("--fail-fast", action="store_true",
+                        help="cancel outstanding runs once a race is found")
     detect.set_defaults(func=cmd_detect)
 
     fix = sub.add_parser("fix", help="run the Dr.Fix pipeline over a directory of .go files")
@@ -215,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     fix.add_argument("--scale", type=float, default=0.25, help="example-database scale")
     fix.add_argument("--no-rag", action="store_true", help="disable retrieval-augmented generation")
     fix.add_argument("--write", action="store_true", help="write validated patches in place")
+    fix.add_argument("--jobs", type=int, default=None,
+                     help="concurrent candidate-validation workers (default: DRFIX_JOBS or 1)")
+    fix.add_argument("--adaptive-runs", action="store_true",
+                     help="derive the validator's run count from a detection-"
+                          "probability bound instead of the fixed validator_runs")
     fix.set_defaults(func=cmd_fix)
 
     evaluate = sub.add_parser("evaluate", help="regenerate every table and figure of the paper")

@@ -46,11 +46,24 @@ class Patch:
         return "\n".join(chunks)
 
     def lines_changed(self, original: GoPackage) -> int:
+        """Lines of code the patch changes, counted per hunk.
+
+        A modified line appears in a unified diff as one ``-`` plus one ``+``;
+        counting both would bill it twice (inflating the Table 7 LOC-per-fix
+        numbers), so each hunk contributes ``max(additions, deletions)`` —
+        modifications count once, pure insertions/removals count in full.
+        """
         count = 0
+        additions = deletions = 0
         for line in self.diff(original).splitlines():
-            if line.startswith(("+", "-")) and not line.startswith(("+++", "---")):
-                count += 1
-        return count
+            if line.startswith("@@") or line.startswith(("+++", "---")):
+                count += max(additions, deletions)
+                additions = deletions = 0
+            elif line.startswith("+"):
+                additions += 1
+            elif line.startswith("-"):
+                deletions += 1
+        return count + max(additions, deletions)
 
 
 class Patcher:

@@ -5,15 +5,30 @@ Validation succeeds when the package builds, every test passes, the targeted
 race (identified by its stable bug hash) no longer appears, and no new race is
 introduced.  On failure the validator produces the developer-readable feedback
 that Dr.Fix feeds back to the model on the retry (Section 4.4.2).
+
+Two engine features hang off this module:
+
+* **batch validation** — :meth:`FixValidator.validate_batch` validates the
+  candidate patches of one (location, scope) batch concurrently through the
+  shared executor, returning results in submission order so the pipeline's
+  first-win scan is identical to the serial loop;
+* **adaptive run count** — with :attr:`DrFixConfig.adaptive_runs` on, the
+  number of per-candidate detector runs is the smallest count meeting the
+  configured detection-probability bound
+  (:func:`~repro.runtime.scheduler.runs_for_detection_probability`) instead of
+  a fixed ``validator_runs``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from functools import partial
+from typing import List, Optional, Sequence
 
 from repro.core.config import DrFixConfig
+from repro.execution import CaseExecutor, ExecutorKind
 from repro.runtime.harness import GoPackage, PackageRunResult, run_package_tests
+from repro.runtime.scheduler import runs_for_detection_probability
 
 
 @dataclass
@@ -46,6 +61,59 @@ class ValidationResult:
         return " | ".join(parts) if parts else "validation failed"
 
 
+def planned_validator_runs(config: DrFixConfig) -> int:
+    """The per-candidate run count: fixed, or bounded by detection probability.
+
+    With ``adaptive_runs`` on, re-running a candidate stops once the chance of
+    having missed a surviving race (per-run hit rate ``adaptive_hit_rate``)
+    drops below ``1 - adaptive_confidence`` — typically well under the fixed
+    ``validator_runs`` budget.
+    """
+    if not config.adaptive_runs:
+        return config.validator_runs
+    return runs_for_detection_probability(
+        config.adaptive_hit_rate, config.adaptive_confidence, config.validator_runs
+    )
+
+
+def _validate_candidate(config: DrFixConfig, bug_hash: str,
+                        baseline_hashes: Sequence[str],
+                        package: GoPackage) -> ValidationResult:
+    """Validate one candidate: a pure function of its arguments.
+
+    Module-level (with picklable arguments) so batch validation can ship
+    candidates to process-pool workers; it maintains no counters.
+    """
+    baseline = set(baseline_hashes)
+    baseline.add(bug_hash)
+    result = run_package_tests(
+        package,
+        runs=planned_validator_runs(config),
+        seed=config.validator_seed,
+        jobs=config.harness_jobs,
+    )
+    if not result.built:
+        return ValidationResult(
+            ok=False, build_errors=list(result.build_errors), runs=result.runs, raw=result
+        )
+    observed = result.race_hashes()
+    race_still_present = bug_hash in observed
+    new_races = [h for h in observed if h not in baseline]
+    ok = (
+        not race_still_present
+        and not new_races
+        and not result.test_failures
+    )
+    return ValidationResult(
+        ok=ok,
+        test_failures=list(result.test_failures),
+        race_still_present=race_still_present,
+        new_race_hashes=new_races,
+        runs=result.runs,
+        raw=result,
+    )
+
+
 class FixValidator:
     """Run a patched package's tests many times under the race detector."""
 
@@ -63,30 +131,29 @@ class FixValidator:
         paper distinguishes the targeted race via the stable hash).
         """
         self.validations += 1
-        baseline = set(baseline_hashes or [])
-        baseline.add(bug_hash)
-        result = run_package_tests(
-            package,
-            runs=self.config.validator_runs,
-            seed=self.config.validator_seed,
+        return _validate_candidate(
+            self.config, bug_hash, tuple(baseline_hashes or ()), package
         )
-        if not result.built:
-            return ValidationResult(
-                ok=False, build_errors=list(result.build_errors), runs=result.runs, raw=result
-            )
-        observed = result.race_hashes()
-        race_still_present = bug_hash in observed
-        new_races = [h for h in observed if h not in baseline]
-        ok = (
-            not race_still_present
-            and not new_races
-            and not result.test_failures
+
+    def validate_batch(
+        self,
+        packages: Sequence[GoPackage],
+        bug_hash: str,
+        baseline_hashes: Optional[List[str]] = None,
+        jobs: Optional[int] = None,
+        executor: "ExecutorKind | str | None" = None,
+    ) -> List[ValidationResult]:
+        """Validate several candidate packages concurrently.
+
+        Results come back in submission order and stop at the first ``ok``
+        candidate (not-yet-started work past it is cancelled), so the returned
+        prefix is exactly what the serial first-win loop would have computed —
+        no validation is paid for and then discarded.  The ``validations``
+        counter is *not* advanced here: the caller accounts the
+        serial-equivalent number of validations.
+        """
+        worker = partial(
+            _validate_candidate, self.config, bug_hash, tuple(baseline_hashes or ())
         )
-        return ValidationResult(
-            ok=ok,
-            test_failures=list(result.test_failures),
-            race_still_present=race_still_present,
-            new_race_hashes=new_races,
-            runs=result.runs,
-            raw=result,
-        )
+        pool = CaseExecutor(kind=executor, jobs=jobs)
+        return pool.map_until(worker, list(packages), stop=lambda result: result.ok)

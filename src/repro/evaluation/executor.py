@@ -1,156 +1,40 @@
 """Pluggable case executors for the evaluation engine.
 
-The evaluation loop ("run the Dr.Fix pipeline over every case of a split") is
-embarrassingly parallel: every case builds its own pipeline, every source of
-randomness is seeded from the configuration and the case itself, and no state
-flows between cases.  This module provides the three execution backends the
-:class:`~repro.evaluation.runner.EvaluationRunner` can dispatch through:
+Since the go-test harness and the pipeline's batch validation gained the same
+parallel dispatch, the implementation lives in the layer-neutral
+:mod:`repro.execution` module (the runtime — layer 1 — must not import the
+evaluation engine — layer 5).  This module re-exports the public surface under
+its historical name for the evaluation layer and external callers.
 
-* **serial** — a plain loop; the reference behaviour;
-* **thread** — a :class:`~concurrent.futures.ThreadPoolExecutor`; useful when
-  the LLM client is a real network-backed model (I/O bound);
-* **process** — a :class:`~concurrent.futures.ProcessPoolExecutor`; the right
-  choice for the CPU-bound simulated pipeline, sidestepping the GIL.
-
-All backends preserve *submission order* in their results (``CaseExecutor.map``
-has the ordering contract of the built-in ``map``), and per-case seeding
-(:func:`derive_case_seed`) makes each case's randomness a pure function of the
-configuration seed and the case id — together these make a parallel run
-bit-identical to a serial one.
-
-Worker count resolution (first match wins): an explicit ``jobs`` argument, the
-``jobs`` field of :class:`~repro.core.config.DrFixConfig`, the ``DRFIX_JOBS``
-environment variable, and finally ``1`` (serial).  ``jobs=0`` means "resolve
-from the environment"; negative values mean "one worker per CPU".
+See :mod:`repro.execution` for the backend semantics (serial / thread /
+process), the ordering guarantees that keep parallel runs bit-identical to
+serial ones, and the nested-parallelism budget (``DRFIX_NESTED_BUDGET``) that
+keeps pipeline-level and harness-level workers from oversubscribing the
+machine.
 """
 
 from __future__ import annotations
 
-import enum
-import hashlib
-import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
-
-from repro.errors import ConfigError
-
-T = TypeVar("T")
-R = TypeVar("R")
-
-#: Environment variable consulted when no explicit worker count is given.
-JOBS_ENV_VAR = "DRFIX_JOBS"
-#: Environment variable selecting the backend (``serial``/``thread``/``process``).
-EXECUTOR_ENV_VAR = "DRFIX_EXECUTOR"
-
-
-class ExecutorKind(enum.Enum):
-    """Which backend dispatches the per-case work."""
-
-    SERIAL = "serial"
-    THREAD = "thread"
-    PROCESS = "process"
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve a worker count from an explicit value or the environment.
-
-    ``None`` or ``0`` consults ``DRFIX_JOBS`` (defaulting to 1); a negative
-    value means one worker per available CPU.
-    """
-    if jobs is None or jobs == 0:
-        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
-        try:
-            jobs = int(raw) if raw else 1
-        except ValueError:
-            raise ConfigError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}")
-        if jobs == 0:
-            jobs = 1
-    if jobs < 0:
-        jobs = os.cpu_count() or 1
-    return max(1, jobs)
-
-
-def resolve_kind(kind: "ExecutorKind | str | None" = None,
-                 jobs: int = 1) -> ExecutorKind:
-    """Resolve the backend: explicit argument, then ``DRFIX_EXECUTOR``, then
-    a default of process-pool when ``jobs > 1`` and serial otherwise (the
-    in-repo pipeline is CPU-bound pure Python, so threads cannot speed it up;
-    pick ``thread`` explicitly when the LLM client is network-backed)."""
-    if isinstance(kind, ExecutorKind):
-        return kind
-    name = (kind or os.environ.get(EXECUTOR_ENV_VAR, "") or "auto").strip().lower()
-    if name == "auto":
-        return ExecutorKind.PROCESS if jobs > 1 else ExecutorKind.SERIAL
-    try:
-        return ExecutorKind(name)
-    except ValueError:
-        valid = ", ".join(k.value for k in ExecutorKind)
-        raise ConfigError(f"unknown executor kind {name!r} (expected auto, {valid})")
-
-
-def derive_case_seed(base_seed: int, case_id: str) -> int:
-    """A stable per-case seed: a pure function of the base seed and case id.
-
-    Used when :attr:`repro.core.config.DrFixConfig.per_case_seeds` is on, so
-    that each case's scheduler/validator randomness is independent of every
-    other case and of the order (or parallelism) in which cases execute.
-    """
-    digest = hashlib.blake2b(
-        f"{base_seed}|{case_id}".encode("utf-8"), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "little") % (2 ** 31)
-
-
-class CaseExecutor:
-    """Map a function over cases through the configured backend.
-
-    The result list is always in submission order, whatever order the workers
-    finish in — this is what keeps parallel evaluation runs bit-identical to
-    serial ones.
-    """
-
-    def __init__(self, kind: "ExecutorKind | str | None" = None,
-                 jobs: Optional[int] = None):
-        self.jobs = resolve_jobs(jobs)
-        self.kind = resolve_kind(kind, self.jobs)
-        if self.kind is ExecutorKind.SERIAL:
-            self.jobs = 1
-        elif self.jobs == 1:
-            # A pool with one worker runs the inline loop anyway; say so.
-            self.kind = ExecutorKind.SERIAL
-
-    # ------------------------------------------------------------------
-
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Apply ``fn`` to every item, returning results in submission order."""
-        items = list(items)
-        if not items or self.jobs == 1 or self.kind is ExecutorKind.SERIAL:
-            return [fn(item) for item in items]
-        workers = min(self.jobs, len(items))
-        if self.kind is ExecutorKind.THREAD:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, items))
-        # Process pool: chunk to amortise pickling of fn's captured state
-        # (config + example database) across cases.
-        chunksize = max(1, len(items) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-
-    # ------------------------------------------------------------------
-
-    def describe(self) -> str:
-        """Human-readable backend summary (used by ``drfix bench``)."""
-        if self.kind is ExecutorKind.SERIAL:
-            return "serial"
-        return f"{self.kind.value}[{self.jobs}]"
-
+from repro.execution import (
+    CaseExecutor,
+    ExecutorKind,
+    EXECUTOR_ENV_VAR,
+    JOBS_ENV_VAR,
+    NESTED_BUDGET_ENV_VAR,
+    derive_case_seed,
+    nested_budget,
+    resolve_jobs,
+    resolve_kind,
+)
 
 __all__ = [
     "CaseExecutor",
     "ExecutorKind",
     "JOBS_ENV_VAR",
     "EXECUTOR_ENV_VAR",
+    "NESTED_BUDGET_ENV_VAR",
     "derive_case_seed",
+    "nested_budget",
     "resolve_jobs",
     "resolve_kind",
 ]

@@ -47,8 +47,10 @@ STORE_VERSION = 1
 
 #: DrFixConfig fields that change how fast a run executes but not what it
 #: computes; they are excluded from the fingerprint so a parallel run hits the
-#: cache entries a serial run wrote.
-EXECUTION_ONLY_FIELDS = frozenset({"jobs"})
+#: cache entries a serial run wrote.  ``harness_jobs`` qualifies because the
+#: harness merges its per-seed run results in submission order, making the
+#: worker count invisible in the output.
+EXECUTION_ONLY_FIELDS = frozenset({"jobs", "harness_jobs"})
 
 
 # ---------------------------------------------------------------------------

@@ -31,7 +31,12 @@ from repro.runtime.harness import (
     run_package_tests,
 )
 from repro.runtime.interpreter import Interpreter, ProgramResult
-from repro.runtime.scheduler import Scheduler, SchedulerPolicy
+from repro.runtime.scheduler import (
+    Scheduler,
+    SchedulerPolicy,
+    derive_run_seed,
+    runs_for_detection_probability,
+)
 
 __all__ = [
     "RaceReport",
@@ -45,4 +50,6 @@ __all__ = [
     "ProgramResult",
     "Scheduler",
     "SchedulerPolicy",
+    "derive_run_seed",
+    "runs_for_detection_probability",
 ]

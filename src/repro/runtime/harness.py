@@ -10,7 +10,17 @@ The harness owns the pieces Dr.Fix's validator needs (Section 4.4.1):
   siblings run concurrently (this is what makes table-driven parallel tests
   race on shared fixtures);
 * **repeat runs** — each run uses a different scheduler seed/policy, standing
-  in for the paper's "run the package tests 1000 times";
+  in for the paper's "run the package tests 1000 times"; per-run seeds are
+  hashed from (base seed, run index, policy) so distinct base seeds never
+  replay each other's interleavings;
+* **parallel runs** — the per-seed runs are independent, so they dispatch
+  through the shared :class:`~repro.execution.CaseExecutor` (serial, thread,
+  or process backend; results merged in submission order, which keeps a
+  parallel run bit-identical to a serial one).  The nested-parallelism budget
+  (``DRFIX_NESTED_BUDGET``) keeps harness workers from oversubscribing a
+  machine whose pipeline-level executor is already fanned out;
+* **early exit** — in detection, ``stop_on_first_race`` cancels outstanding
+  runs once a run (scanned in submission order) has produced a race;
 * **race collection** — detector races are rendered as ThreadSanitizer-format
   reports and deduplicated by stable bug hash.
 """
@@ -18,16 +28,18 @@ The harness owns the pieces Dr.Fix's validator needs (Section 4.4.1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from functools import partial
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import DeadlockError, GoPanic, GoRuntimeError, GoSyntaxError
+from repro.execution import CaseExecutor, ExecutorKind
 from repro.golang import ast_nodes as ast
 from repro.golang.parser import parse_file
 from repro.runtime.goroutine import Goroutine, STEP, blocked
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.race_detector import RaceDetector
 from repro.runtime.race_report import RaceReport, merge_reports, report_from_race
-from repro.runtime.scheduler import Scheduler, SchedulerPolicy
+from repro.runtime.scheduler import Scheduler, SchedulerPolicy, derive_run_seed
 from repro.runtime.values import FuncValue
 
 
@@ -218,6 +230,9 @@ class PackageRunResult:
     output: List[str] = field(default_factory=list)
     runs: int = 0
     tests_discovered: int = 0
+    #: Output lines dropped by the per-run retention cap (see
+    #: ``GoTestHarness.max_output_lines``).
+    output_lines_truncated: int = 0
 
     @property
     def built(self) -> bool:
@@ -246,6 +261,17 @@ class PackageRunResult:
         return ", ".join(parts)
 
 
+#: The default scheduler-policy rotation.  PCT rides alongside the heuristic
+#: policies: its probabilistic guarantee covers bug depths the biased-random
+#: policies only hit by luck.
+DEFAULT_POLICIES: Tuple[SchedulerPolicy, ...] = (
+    SchedulerPolicy.RANDOM,
+    SchedulerPolicy.NEWEST_FIRST,
+    SchedulerPolicy.OLDEST_FIRST,
+    SchedulerPolicy.PCT,
+)
+
+
 class GoTestHarness:
     """Build and repeatedly run one package's tests under the race detector."""
 
@@ -255,17 +281,30 @@ class GoTestHarness:
         runs: int = 12,
         seed: int = 0,
         max_steps: int = 120_000,
-        policies: Sequence[SchedulerPolicy] = (
-            SchedulerPolicy.RANDOM,
-            SchedulerPolicy.NEWEST_FIRST,
-            SchedulerPolicy.OLDEST_FIRST,
-        ),
+        policies: Sequence[SchedulerPolicy] = DEFAULT_POLICIES,
+        jobs: Optional[int] = 1,
+        executor: "ExecutorKind | str | None" = None,
+        stop_on_first_race: bool = False,
+        max_output_lines: int = 200,
     ):
         self.package = package
         self.runs = runs
         self.seed = seed
         self.max_steps = max_steps
         self.policies = list(policies)
+        #: Worker count for the per-seed runs (1 = the inline serial loop;
+        #: ``None``/0 resolves ``DRFIX_JOBS``).  Clamped by the nested budget
+        #: when a pipeline-level executor is already fanned out.
+        self.jobs = jobs
+        self.executor_kind = executor
+        #: Detection mode: cancel outstanding runs once a run has found a race
+        #: (scanning finished runs in submission order, so the result is the
+        #: same prefix a serial loop with ``break`` would produce).
+        self.stop_on_first_race = stop_on_first_race
+        #: Per-run cap on retained interpreter output; the excess is replaced
+        #: by one truncation marker so long validation sweeps (hundreds of
+        #: runs per candidate × many candidates) cannot balloon memory.
+        self.max_output_lines = max_output_lines
 
     # -- build ---------------------------------------------------------------------------
 
@@ -290,6 +329,20 @@ class GoTestHarness:
 
     # -- running -------------------------------------------------------------------------
 
+    def plan_runs(self) -> List[Tuple[int, SchedulerPolicy]]:
+        """The (seed, policy) schedule for every run, fixed up front.
+
+        Policies rotate round-robin; each run's seed is a hash of (base seed,
+        run index, policy) — see :func:`~repro.runtime.scheduler.derive_run_seed`
+        — so the schedule is a pure function of the harness configuration,
+        independent of execution order or worker count.
+        """
+        plan: List[Tuple[int, SchedulerPolicy]] = []
+        for run_index in range(self.runs):
+            policy = self.policies[run_index % len(self.policies)]
+            plan.append((derive_run_seed(self.seed, run_index, policy), policy))
+        return plan
+
     def run(self, entry_functions: Optional[Sequence[str]] = None) -> PackageRunResult:
         result = PackageRunResult(package=self.package.name)
         files, errors = self.parse()
@@ -302,16 +355,35 @@ class GoTestHarness:
         if not tests and not entries:
             # Nothing to exercise; treat as an empty, passing package.
             return result
+
+        plan = self.plan_runs()
+        pool = CaseExecutor(kind=self.executor_kind, jobs=self.jobs)
+        if pool.kind is ExecutorKind.SERIAL:
+            # Inline loop over the pre-parsed ASTs: the hot path (the
+            # validator runs thousands of these) pays no dispatch overhead.
+            runner = lambda spec: self._run_once(files, tests, entries, *spec)
+        else:
+            # Workers re-parse from source: ASTs stay worker-private (no
+            # shared mutable state) and the payload pickles for process
+            # pools.  Parsing is a pure function, so a re-parsed run is
+            # bit-identical to an inline one.
+            runner = partial(
+                _execute_package_run, self.package, tuple(entries), self.max_steps
+            )
+        if self.stop_on_first_race:
+            outcomes = pool.map_until(runner, plan, stop=lambda out: bool(out[0]))
+        else:
+            outcomes = pool.map(runner, plan)
+
         all_reports: List[RaceReport] = []
-        for run_index in range(self.runs):
-            policy = self.policies[run_index % len(self.policies)]
-            seed = self.seed + run_index * 7919
-            run_reports, failures, output = self._run_once(files, tests, entries, seed, policy)
+        for run_reports, failures, output in outcomes:
             all_reports.extend(run_reports)
             for failure in failures:
                 if failure not in result.test_failures:
                     result.test_failures.append(failure)
-            result.output.extend(output)
+            kept, dropped = _cap_output(output, self.max_output_lines)
+            result.output.extend(kept)
+            result.output_lines_truncated += dropped
             result.runs += 1
         result.reports = merge_reports(all_reports)
         return result
@@ -363,13 +435,55 @@ class GoTestHarness:
         return reports, failures, program.output
 
 
+def _cap_output(lines: List[str], limit: int) -> Tuple[List[str], int]:
+    """Apply the per-run output retention cap, returning (kept, dropped)."""
+    if limit <= 0 or len(lines) <= limit:
+        return lines, 0
+    dropped = len(lines) - limit
+    return lines[:limit] + [f"... [{dropped} output line(s) truncated]"], dropped
+
+
+def _execute_package_run(
+    package: GoPackage,
+    entries: Tuple[str, ...],
+    max_steps: int,
+    spec: Tuple[int, SchedulerPolicy],
+) -> Tuple[List[RaceReport], List[str], List[str]]:
+    """Execute one (seed, policy) run in a worker.
+
+    Module-level (with picklable arguments) so it can be shipped to
+    process-pool workers; it re-parses the package from source, which keeps
+    every AST private to its run.
+    """
+    seed, policy = spec
+    harness = GoTestHarness(package, runs=1, max_steps=max_steps, jobs=1)
+    files, errors = harness.parse()
+    if errors:  # pragma: no cover - the dispatching harness parsed cleanly
+        return [], list(errors), []
+    tests = harness.discover_tests(files)
+    return harness._run_once(files, tests, list(entries), seed, policy)
+
+
 def run_package_tests(
     package: GoPackage,
     runs: int = 12,
     seed: int = 0,
     entry_functions: Optional[Sequence[str]] = None,
     max_steps: int = 120_000,
+    jobs: Optional[int] = 1,
+    executor: "ExecutorKind | str | None" = None,
+    stop_on_first_race: bool = False,
+    max_output_lines: int = 200,
 ) -> PackageRunResult:
     """Convenience wrapper: build ``package`` and run its tests ``runs`` times."""
-    harness = GoTestHarness(package, runs=runs, seed=seed, max_steps=max_steps)
+    harness = GoTestHarness(
+        package,
+        runs=runs,
+        seed=seed,
+        max_steps=max_steps,
+        jobs=jobs,
+        executor=executor,
+        stop_on_first_race=stop_on_first_race,
+        max_output_lines=max_output_lines,
+    )
     return harness.run(entry_functions=entry_functions)

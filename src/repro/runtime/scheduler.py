@@ -11,11 +11,13 @@ the stand-in for running a test "1000 times" under the Go race detector.
 from __future__ import annotations
 
 import enum
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import DeadlockError, GoRuntimeError
+from repro.execution import stable_seed
 from repro.runtime.goroutine import Goroutine, GoroutineState, SchedulePoint
 
 
@@ -31,6 +33,50 @@ class SchedulerPolicy(enum.Enum):
     #: expose races where the parent outruns its children, e.g. a ``Wait``
     #: returning early because ``Add`` was placed inside the goroutine.
     OLDEST_FIRST = "oldest_first"
+    #: Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010):
+    #: every goroutine gets a random priority, the scheduler always runs the
+    #: highest-priority runnable goroutine, and at ``d - 1`` randomly placed
+    #: *change points* per horizon window the running goroutine's priority
+    #: drops below every other — for a run of ~k steps this finds any bug of
+    #: depth ``d`` with probability ≥ 1/(n·k^(d-1)) for n goroutines.
+    PCT = "pct"
+
+
+def derive_run_seed(base_seed: int, run_index: int, policy: "SchedulerPolicy") -> int:
+    """A stable per-run scheduler seed: a pure hash of (base seed, run, policy).
+
+    The harness previously derived per-run seeds as ``base_seed + run_index *
+    7919``, so two harnesses whose base seeds differed by a multiple of 7919
+    replayed *identical* interleavings and explored fewer schedules than they
+    reported.  Hashing removes every such arithmetic collision: any change to
+    the base seed, the run index, or the policy yields an unrelated seed.
+    """
+    return stable_seed(base_seed, run_index, policy.value)
+
+
+def runs_for_detection_probability(
+    per_run_probability: float, confidence: float, max_runs: int
+) -> int:
+    """How many independent runs meet a detection-probability bound.
+
+    The smallest ``r`` such that a race exposed with probability
+    ``per_run_probability`` per run is seen at least once with probability
+    ``confidence``: ``1 - (1 - p)^r ≥ confidence``.  Clamped to
+    ``[1, max_runs]``; degenerate probabilities fall back to ``max_runs``
+    (p ≤ 0: no bound can be met) or ``1`` (p ≥ 1: the first run suffices).
+    Used by the validator's adaptive run count — re-running a candidate past
+    this bound buys almost no additional detection probability.
+    """
+    if max_runs <= 1:
+        return max(1, max_runs)
+    if per_run_probability >= 1.0:
+        return 1
+    if per_run_probability <= 0.0 or not 0.0 < confidence < 1.0:
+        return max_runs
+    needed = math.ceil(
+        math.log(1.0 - confidence) / math.log(1.0 - per_run_probability)
+    )
+    return max(1, min(max_runs, needed))
 
 
 @dataclass
@@ -48,6 +94,8 @@ class Scheduler:
         seed: int = 0,
         policy: SchedulerPolicy = SchedulerPolicy.RANDOM,
         max_steps: int = 200_000,
+        pct_depth: int = 3,
+        pct_horizon: int = 1_000,
     ):
         self.seed = seed
         self.policy = policy
@@ -58,6 +106,30 @@ class Scheduler:
         self._next_gid = 1
         self._last_gid: Optional[int] = None
         self.failures: List[BaseException] = []
+        # PCT state: per-goroutine priorities (assigned on first sight, high
+        # band ≥ 1.0), and d-1 change points sampled over a step *window* of
+        # ``pct_horizon`` steps; a goroutine crossing a change point is
+        # demoted below every priority handed out so far (the low band is
+        # strictly decreasing negatives).  When execution outlives a window,
+        # fresh change points are sampled for the next one, so preemptions
+        # stay reachable throughout runs of any length (a single fixed
+        # horizon would confine them to the first ``pct_horizon`` steps of a
+        # ``max_steps``-long run).
+        self.pct_depth = max(1, pct_depth)
+        self.pct_horizon = max(2, pct_horizon)
+        self._pct_priorities: Dict[int, float] = {}
+        self._pct_window_start = 0
+        self._pct_change_points: frozenset[int] = frozenset()
+        self._pct_low = 0.0
+        if policy is SchedulerPolicy.PCT:
+            self._pct_change_points = self._sample_change_points()
+
+    def _sample_change_points(self) -> frozenset[int]:
+        """Sample d-1 change-point offsets within one ``pct_horizon`` window."""
+        count = min(self.pct_depth - 1, self.pct_horizon - 1)
+        if count <= 0:
+            return frozenset()
+        return frozenset(self.random.sample(range(1, self.pct_horizon), count))
 
     # ------------------------------------------------------------------
     # Goroutine management
@@ -109,7 +181,17 @@ class Scheduler:
             if self.random.random() < 0.85:
                 return min(runnable, key=lambda g: g.gid)
             return self.random.choice(runnable)
+        if self.policy is SchedulerPolicy.PCT:
+            return max(runnable, key=lambda g: (self._pct_priority(g.gid), -g.gid))
         return self.random.choice(runnable)
+
+    def _pct_priority(self, gid: int) -> float:
+        priority = self._pct_priorities.get(gid)
+        if priority is None:
+            # High band: every fresh goroutine outranks every demoted one.
+            priority = 1.0 + self.random.random()
+            self._pct_priorities[gid] = priority
+        return priority
 
     def run(self, main: Goroutine) -> None:
         """Run until the main goroutine and every spawned goroutine finished,
@@ -142,6 +224,16 @@ class Scheduler:
                 self.stats.context_switches += 1
             self._last_gid = goroutine.gid
             self._advance(goroutine)
+            if self.policy is SchedulerPolicy.PCT:
+                offset = self.stats.steps - self._pct_window_start
+                if offset in self._pct_change_points:
+                    # Change point: drop the running goroutine below every
+                    # priority handed out so far, forcing a preemption here.
+                    self._pct_low -= 1.0
+                    self._pct_priorities[goroutine.gid] = self._pct_low
+                if offset >= self.pct_horizon:
+                    self._pct_window_start += self.pct_horizon
+                    self._pct_change_points = self._sample_change_points()
 
     def _advance(self, goroutine: Goroutine) -> None:
         self.stats.steps += 1

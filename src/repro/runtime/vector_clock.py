@@ -37,6 +37,10 @@ class VectorClock:
     def set(self, tid: int, value: int) -> None:
         if value:
             self._clocks[tid] = value
+        else:
+            # An explicit zero must clear a stale nonzero entry; dropping the
+            # key keeps the clock sparse while ``get`` still reads 0.
+            self._clocks.pop(tid, None)
 
     def increment(self, tid: int) -> None:
         self._clocks[tid] = self._clocks.get(tid, 0) + 1

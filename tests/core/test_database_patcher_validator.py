@@ -127,6 +127,42 @@ class TestPatcher:
                           "func CompletelyNew() {}\n")
 
 
+class TestLinesChangedCounting:
+    """Regression: a modified line is one changed line, not a ``-`` plus a ``+``."""
+
+    def _patch(self, before: str, after: str):
+        from repro.core.patcher import Patch
+        from repro.runtime.harness import GoFile, GoPackage
+
+        original = GoPackage(name="p", files=[GoFile("a.go", before)])
+        patched = original.replace_file("a.go", after)
+        return Patch(package=patched, changed_files=["a.go"]), original
+
+    def test_modified_line_counts_once(self):
+        before = "package p\n\nfunc F() int {\n\treturn 1\n}\n"
+        after = "package p\n\nfunc F() int {\n\treturn 2\n}\n"
+        patch, original = self._patch(before, after)
+        assert patch.lines_changed(original) == 1
+
+    def test_pure_insertions_count_in_full(self):
+        before = "package p\n\nfunc F() int {\n\treturn 1\n}\n"
+        after = "package p\n\nvar mu int\n\nfunc F() int {\n\treturn 1\n}\n"
+        patch, original = self._patch(before, after)
+        assert patch.lines_changed(original) == 2  # "var mu int" + blank line
+
+    def test_mixed_hunk_counts_the_larger_side(self):
+        before = "package p\n\nfunc F() int {\n\ta := 1\n\treturn a\n}\n"
+        after = "package p\n\nfunc F() int {\n\ta := 2\n\tb := 3\n\treturn a + b\n}\n"
+        patch, original = self._patch(before, after)
+        # One hunk: 2 deletions vs 3 additions -> 3, not 5.
+        assert patch.lines_changed(original) == 3
+
+    def test_unchanged_package_counts_zero(self):
+        source = "package p\n\nfunc F() int {\n\treturn 1\n}\n"
+        patch, original = self._patch(source, source)
+        assert patch.lines_changed(original) == 0
+
+
 class TestValidator:
     def test_ground_truth_fix_validates(self, err_capture_case, drfix_config):
         report = err_capture_case.race_report(runs=10)

@@ -123,3 +123,75 @@ class TestPipelineAblationBehaviour:
                        database=pipeline_database).fix_case(err_capture_case)
         assert first.fixed == second.fixed
         assert first.strategy == second.strategy
+
+
+def _outcome_signature(outcome):
+    """Everything observable about a FixOutcome except wall-clock durations."""
+    return (
+        outcome.fixed, outcome.strategy, outcome.location, outcome.scope,
+        outcome.guided_by_example, outcome.example_id, outcome.lines_changed,
+        outcome.failure_reason, outcome.model_calls, outcome.validations,
+        [(a.location, a.scope, a.example_id, a.strategy, a.used_feedback,
+          a.patched, a.validated, a.failure) for a in outcome.attempts],
+    )
+
+
+class TestConcurrentCandidateValidation:
+    """The (location, scope) batch path must be bit-identical to the serial loop."""
+
+    @pytest.mark.parametrize("case_fixture", ["err_capture_case", "waitgroup_case",
+                                              "shard_map_case"])
+    def test_parallel_batch_equals_serial(self, request, case_fixture,
+                                          pipeline_config, pipeline_database):
+        case = request.getfixturevalue(case_fixture)
+        serial = DrFix(case.package, config=pipeline_config,
+                       database=pipeline_database, jobs=1).fix_case(case)
+        parallel = DrFix(case.package, config=pipeline_config,
+                         database=pipeline_database, jobs=2,
+                         executor="thread").fix_case(case)
+        assert _outcome_signature(serial) == _outcome_signature(parallel)
+
+    def test_unfixed_case_matches_serial_including_failures(self, pipeline_config,
+                                                            pipeline_database,
+                                                            shard_map_case):
+        # Without RAG this case exhausts every attempt: the batch path must
+        # replay the same failure log, counters, and failure reason.
+        config = pipeline_config.without_rag()
+        serial = DrFix(shard_map_case.package, config=config, jobs=1).fix_case(shard_map_case)
+        parallel = DrFix(shard_map_case.package, config=config, jobs=2,
+                         executor="thread").fix_case(shard_map_case)
+        assert not serial.fixed
+        assert _outcome_signature(serial) == _outcome_signature(parallel)
+
+    def test_adaptive_run_count_bounds_validator_work(self, err_capture_case,
+                                                      pipeline_config, pipeline_database):
+        from repro.core.validator import planned_validator_runs
+
+        adaptive = pipeline_config.with_adaptive_runs(hit_rate=0.8, confidence=0.999)
+        # 1 - (1 - 0.8)^5 > 0.999: five runs meet the bound, well under the
+        # fixed validator_runs budget of eight.
+        assert planned_validator_runs(adaptive) == 5
+        assert planned_validator_runs(pipeline_config) == 8
+        outcome = DrFix(err_capture_case.package, config=adaptive,
+                        database=pipeline_database).fix_case(err_capture_case)
+        assert outcome.fixed
+        # The validated patch still eliminates the race under the full budget.
+        result = run_package_tests(outcome.patch.package, runs=10)
+        assert not result.has_race(outcome.bug_hash)
+
+    def test_validate_batch_preserves_submission_order(self, err_capture_case,
+                                                       pipeline_config):
+        from repro.core.validator import FixValidator
+
+        report = err_capture_case.race_report(runs=10)
+        validator = FixValidator(pipeline_config)
+        racy, fixed = err_capture_case.package, err_capture_case.fixed_package
+        results = validator.validate_batch(
+            [racy, fixed, racy], report.bug_hash(), jobs=3, executor="thread"
+        )
+        # Submission order is preserved and the batch stops at the first
+        # winner — the third candidate is never paid for, exactly as in the
+        # serial first-win loop.
+        assert [r.ok for r in results] == [False, True]
+        # Batch validation leaves the serial-equivalent accounting to callers.
+        assert validator.validations == 0

@@ -101,6 +101,49 @@ def _square(value: int) -> int:
     return value * value
 
 
+def _nested_executor_jobs(_value: int) -> int:
+    """Worker body: how many workers would a nested executor get here?"""
+    return CaseExecutor(kind="thread", jobs=8).jobs
+
+
+class TestMapUntilAndNestedBudget:
+    @pytest.mark.parametrize("kind,jobs", [("serial", 1), ("thread", 4), ("process", 4)])
+    def test_map_until_returns_the_serial_prefix(self, kind, jobs):
+        items = list(range(12))
+        result = CaseExecutor(kind=kind, jobs=jobs).map_until(
+            _square, items, stop=lambda r: r >= 9
+        )
+        assert result == [0, 1, 4, 9]
+
+    def test_map_until_without_a_stop_hit_maps_everything(self):
+        items = list(range(6))
+        result = CaseExecutor(kind="thread", jobs=3).map_until(
+            _square, items, stop=lambda r: False
+        )
+        assert result == [i * i for i in items]
+
+    def test_nested_budget_clamps_executors_constructed_under_it(self, monkeypatch):
+        from repro.evaluation.executor import NESTED_BUDGET_ENV_VAR
+
+        monkeypatch.setenv(NESTED_BUDGET_ENV_VAR, "2")
+        assert CaseExecutor(kind="thread", jobs=8).jobs == 2
+        monkeypatch.setenv(NESTED_BUDGET_ENV_VAR, "1")
+        inner = CaseExecutor(kind="thread", jobs=8)
+        assert inner.jobs == 1 and inner.kind is ExecutorKind.SERIAL
+
+    def test_outer_map_exports_the_budget_to_workers(self, monkeypatch):
+        # On an outer pool of 4 thread workers, a nested executor created
+        # inside a worker sees at most cpu/4 workers — never 8.
+        import os
+
+        outer = CaseExecutor(kind="thread", jobs=4)
+        nested_jobs = outer.map(_nested_executor_jobs, list(range(8)))
+        expected = max(1, (os.cpu_count() or 1) // 4)
+        assert set(nested_jobs) == {min(8, expected)}
+        # The budget is restored once the outer map returns.
+        assert os.environ.get("DRFIX_NESTED_BUDGET") is None
+
+
 class TestParallelDeterminism:
     def test_thread_and_process_runs_match_serial(self, context):
         serial = _run_with(context, jobs=1, executor="serial")

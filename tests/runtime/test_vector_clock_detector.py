@@ -39,6 +39,19 @@ class TestVectorClock:
     def test_equality_ignores_zero_entries(self):
         assert VectorClock({1: 2, 5: 0}) == VectorClock({1: 2})
 
+    def test_set_zero_clears_stale_entry(self):
+        # Regression: ``set`` used to silently drop zero values, so a stale
+        # nonzero entry could never be cleared back to 0.
+        clock = VectorClock()
+        clock.set(3, 5)
+        assert clock.get(3) == 5
+        clock.set(3, 0)
+        assert clock.get(3) == 0
+        assert clock == VectorClock()
+        # Setting an absent tid to zero stays a no-op (clock remains sparse).
+        clock.set(9, 0)
+        assert clock.get(9) == 0 and clock == VectorClock()
+
     @given(st.dictionaries(st.integers(1, 6), st.integers(0, 20), max_size=5),
            st.dictionaries(st.integers(1, 6), st.integers(0, 20), max_size=5))
     @settings(max_examples=80, deadline=None)
