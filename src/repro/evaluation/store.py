@@ -49,8 +49,10 @@ STORE_VERSION = 1
 #: computes; they are excluded from the fingerprint so a parallel run hits the
 #: cache entries a serial run wrote.  ``harness_jobs`` qualifies because the
 #: harness merges its per-seed run results in submission order, making the
-#: worker count invisible in the output.
-EXECUTION_ONLY_FIELDS = frozenset({"jobs", "harness_jobs"})
+#: worker count invisible in the output.  ``engine`` qualifies because the
+#: compiled and tree engines are bit-identical (enforced by the corpus-wide
+#: differential test), so the same results are produced either way.
+EXECUTION_ONLY_FIELDS = frozenset({"jobs", "harness_jobs", "engine"})
 
 
 # ---------------------------------------------------------------------------

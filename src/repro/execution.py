@@ -57,6 +57,8 @@ R = TypeVar("R")
 JOBS_ENV_VAR = "DRFIX_JOBS"
 #: Environment variable selecting the backend (``serial``/``thread``/``process``).
 EXECUTOR_ENV_VAR = "DRFIX_EXECUTOR"
+#: Environment variable selecting the interpreter engine (``compiled``/``tree``).
+ENGINE_ENV_VAR = "DRFIX_ENGINE"
 #: Per-worker budget exported by an outer executor while it is mapping; inner
 #: executors clamp their worker count to it so nested layers of parallelism
 #: (pipeline × validation × harness) cannot oversubscribe the machine.
@@ -69,6 +71,34 @@ class ExecutorKind(enum.Enum):
     SERIAL = "serial"
     THREAD = "thread"
     PROCESS = "process"
+
+
+class EngineKind(enum.Enum):
+    """Which execution engine runs a Go program's interleavings.
+
+    ``COMPILED`` is the default: the harness lowers each package once into
+    pre-bound closures (see :mod:`repro.runtime.compiler`) and reuses the
+    compiled program across every (seed, policy) run.  ``TREE`` is the
+    reference tree-walking interpreter; the corpus-wide differential test
+    asserts the two are bit-identical, and ``--engine tree`` keeps the
+    reference selectable for that harness and for debugging.
+    """
+
+    TREE = "tree"
+    COMPILED = "compiled"
+
+
+def resolve_engine(engine: "EngineKind | str | None" = None) -> EngineKind:
+    """Resolve the engine: explicit argument, then ``DRFIX_ENGINE``, then
+    the compiled engine."""
+    if isinstance(engine, EngineKind):
+        return engine
+    name = (engine or os.environ.get(ENGINE_ENV_VAR, "") or "compiled").strip().lower()
+    try:
+        return EngineKind(name)
+    except ValueError:
+        valid = ", ".join(k.value for k in EngineKind)
+        raise ConfigError(f"unknown engine {name!r} (expected {valid})")
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -274,12 +304,15 @@ class CaseExecutor:
 
 __all__ = [
     "CaseExecutor",
+    "EngineKind",
     "ExecutorKind",
+    "ENGINE_ENV_VAR",
     "JOBS_ENV_VAR",
     "EXECUTOR_ENV_VAR",
     "NESTED_BUDGET_ENV_VAR",
     "derive_case_seed",
     "nested_budget",
+    "resolve_engine",
     "resolve_jobs",
     "resolve_kind",
     "stable_seed",

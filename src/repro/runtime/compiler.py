@@ -1,0 +1,1698 @@
+"""Compile-once execution engine: AST lowering and the program cache.
+
+The tree-walking :class:`~repro.runtime.interpreter.Interpreter` re-decides,
+on every visit of every node, *what the node is* (``isinstance`` ladders),
+*what its constants mean* (re-parsing literal text), and *where names point*
+(builtin tables, package checks).  Those decisions depend only on the AST, so
+this module hoists them into a one-time **lowering pass**: every statement and
+expression is compiled into a pre-bound Python closure ``(interp, goroutine,
+env) -> generator`` that performs exactly the tree-walk's work — the same
+scheduling-point yields, the same detector callbacks, the same ``Cell``
+allocations in the same order — with the per-visit dispatch already resolved.
+
+Three layers:
+
+* :func:`compile_expr` / :func:`compile_stmt` / :func:`compile_block` — the
+  lowering pass.  Hot node kinds are hand-lowered (identifier reads inline the
+  cell-read fast path, binary operators are pre-bound to their operator
+  implementation, literals — and package members that whole-program analysis
+  proves can never be shadowed — fold to constants at compile time); the rare
+  intricate kinds (``select``, ``switch``, declarations) lower to thin
+  wrappers over the interpreter's reference methods, whose *sub*-expressions
+  still execute compiled.
+* :class:`CompiledProgram` — the parsed files plus the shared code cache.  A
+  program is built once and reused by every run: each run constructs a fresh
+  :class:`CompiledInterpreter` (fresh detector/scheduler/heap) over the same
+  compiled code.
+* :class:`ProgramCache` — a process-wide LRU keyed by a source fingerprint, so
+  repeated harness invocations over the same package (the validator runs
+  thousands of them) skip parsing *and* lowering.  Parse failures are cached
+  too: rebuilding a broken candidate is a dictionary hit.
+
+Semantics are bit-identical to the tree-walk by construction and enforced by
+the corpus-wide differential test
+(``tests/runtime/test_compiled_engine_differential.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import GoPanic, GoRuntimeError, GoSyntaxError
+from repro.golang import ast_nodes as ast
+from repro.golang.parser import parse_file
+from repro.runtime import stdlib
+from repro.runtime.goroutine import Frame, Goroutine, STEP, blocked
+from repro.runtime.interpreter import (
+    _BUILTIN_HANDLERS,
+    _binary_op,
+    _copy_struct,
+    _literal_value,
+    _map_key,
+    _values_equal,
+    BoundMethod,
+    BreakSignal,
+    ContinueSignal,
+    Interpreter,
+    PackageRef,
+    ReturnSignal,
+    Signal,
+)
+from repro.runtime.memory import Cell, Environment
+from repro.runtime.race_detector import AccessRecord, RaceDetector
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.channels import Channel
+from repro.runtime.sync_primitives import Mutex, SyncMap, WaitGroup
+from repro.runtime.values import (
+    BuiltinFunc,
+    FuncValue,
+    MapValue,
+    PointerValue,
+    SliceValue,
+    StructValue,
+    TupleValue,
+    TypeValue,
+    format_value,
+    is_truthy,
+)
+
+#: A compiled expression/statement: ``(interp, goroutine, env) -> generator``.
+Code = Callable[..., Generator]
+#: The shared per-program code cache: ``id(node) -> (node, closure)``.  The
+#: node itself is retained so a cached id can never dangle onto a recycled
+#: object identity.
+CodeCache = Dict[int, Tuple[Any, Code]]
+
+
+# ---------------------------------------------------------------------------
+# Small helpers
+# ---------------------------------------------------------------------------
+
+
+def _const(value: Any) -> Code:
+    def run(interp: Interpreter, goroutine: Goroutine, env: Environment) -> Generator:
+        if False:  # pragma: no cover - keeps this a generator
+            yield STEP
+        return value
+
+    return run
+
+
+def _leaf_line(node: ast.Node) -> Optional[int]:
+    """The line recorded for a memory access at ``node`` (see ``_record_access``)."""
+    line = node.pos.line
+    return line if line else None
+
+
+# Per-operator implementations mirroring ``_binary_op`` branch for branch.
+# ``==``/``!=``/``+`` keep their special cases; the numeric operators coerce
+# ``None`` to 0 exactly like the reference.
+
+
+def _op_add(left: Any, right: Any) -> Any:
+    if isinstance(left, str) or isinstance(right, str):
+        return ("" if left is None else str(left)) + ("" if right is None else str(right))
+    return (left or 0) + (right or 0)
+
+
+def _op_div(left: Any, right: Any) -> Any:
+    left_num = left or 0
+    right_num = right or 0
+    if right_num == 0:
+        raise GoPanic("runtime error: integer divide by zero")
+    if isinstance(left_num, int) and isinstance(right_num, int):
+        return int(math.trunc(left_num / right_num))
+    return left_num / right_num
+
+
+def _op_mod(left: Any, right: Any) -> Any:
+    left_num = left or 0
+    right_num = right or 0
+    if right_num == 0:
+        raise GoPanic("runtime error: integer divide by zero")
+    return int(math.fmod(left_num, right_num))
+
+
+_OP_IMPLS: Dict[str, Callable[[Any, Any], Any]] = {
+    "==": _values_equal,
+    "!=": lambda l, r: not _values_equal(l, r),
+    "+": _op_add,
+    "-": lambda l, r: (l or 0) - (r or 0),
+    "*": lambda l, r: (l or 0) * (r or 0),
+    "/": _op_div,
+    "%": _op_mod,
+    "<": lambda l, r: (l or 0) < (r or 0),
+    "<=": lambda l, r: (l or 0) <= (r or 0),
+    ">": lambda l, r: (l or 0) > (r or 0),
+    ">=": lambda l, r: (l or 0) >= (r or 0),
+    "&": lambda l, r: int(l or 0) & int(r or 0),
+    "|": lambda l, r: int(l or 0) | int(r or 0),
+    "^": lambda l, r: int(l or 0) ^ int(r or 0),
+    "<<": lambda l, r: int(l or 0) << int(r or 0),
+    ">>": lambda l, r: int(l or 0) >> int(r or 0),
+    "&^": lambda l, r: int(l or 0) & ~int(r or 0),
+}
+
+
+def _const_value_of(node: ast.Expr) -> Tuple[bool, Any]:
+    """Compile-time constant evaluation (literals and pure operators on them).
+
+    Folding never changes observable behaviour: constants are primitives, so
+    no :class:`Cell` is allocated either way, and a fold is only kept when the
+    operator evaluates without raising (a ``1/0`` still panics at runtime, at
+    the same point the tree-walk would)."""
+    if isinstance(node, ast.BasicLit):
+        return True, _literal_value(node)
+    if isinstance(node, ast.ParenExpr):
+        return _const_value_of(node.x)
+    if isinstance(node, ast.Ident):
+        if node.name == "true":
+            return True, True
+        if node.name == "false":
+            return True, False
+        if node.name == "nil":
+            return True, None
+        if node.name == "_":
+            return True, None
+        return False, None
+    if isinstance(node, ast.UnaryExpr) and node.op in ("-", "+", "!", "^"):
+        ok, value = _const_value_of(node.x)
+        if not ok:
+            return False, None
+        try:
+            if node.op == "-":
+                return True, -(value or 0)
+            if node.op == "+":
+                return True, value
+            if node.op == "!":
+                return True, not is_truthy(value)
+            return True, ~(value or 0)
+        except Exception:
+            return False, None
+    if isinstance(node, ast.BinaryExpr):
+        impl = _OP_IMPLS.get(node.op)
+        if impl is None:
+            return False, None
+        left_ok, left = _const_value_of(node.x)
+        right_ok, right = _const_value_of(node.y)
+        if not (left_ok and right_ok):
+            return False, None
+        try:
+            return True, impl(left, right)
+        except Exception:
+            return False, None
+    return False, None
+
+
+#: Key under which a program's static analysis lives in its code cache (a
+#: string can never collide with the integer ``id()`` keys).
+_META_KEY = "__program_meta__"
+
+
+class _ProgramMeta:
+    """Whole-program facts the lowering pass can rely on.
+
+    ``bound_names`` is every identifier the program can *ever* bind into an
+    environment (``:=`` targets, var/const names, range variables,
+    parameters/results/receivers).  A name outside this set provably never
+    shadows a builtin or package, so its lookup chain walk folds away at
+    compile time.  ``imported_names`` mirrors ``Interpreter._imported_names``.
+    """
+
+    __slots__ = ("bound_names", "imported_names")
+
+    def __init__(self, files: List[ast.File]):
+        bound: set = set()
+        stack: List[ast.Node] = list(files)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.AssignStmt):
+                if node.tok == ":=":
+                    for target in node.lhs:
+                        if isinstance(target, ast.Ident):
+                            bound.add(target.name)
+            elif isinstance(node, ast.ValueSpec):
+                bound.update(node.names)
+            elif isinstance(node, ast.RangeStmt):
+                if node.tok == ":=":
+                    for target in (node.key, node.value):
+                        if isinstance(target, ast.Ident):
+                            bound.add(target.name)
+            elif isinstance(node, ast.Field):
+                bound.update(node.names)
+            elif isinstance(node, ast.FuncDecl) and node.recv is not None:
+                bound.update(node.recv.names)
+            stack.extend(node.children())
+        self.bound_names = frozenset(bound)
+        self.imported_names = frozenset(
+            spec.name or spec.path.split("/")[-1]
+            for file in files
+            for spec in file.imports
+        )
+
+
+def _meta_of(code: CodeCache) -> Optional[_ProgramMeta]:
+    meta = code.get(_META_KEY)
+    return meta if isinstance(meta, _ProgramMeta) else None
+
+
+def _declares_inline(stmt: ast.Stmt) -> bool:
+    """Can ``stmt`` declare a name directly into the enclosing scope?
+
+    Only ``:=`` assignments and ``var``/``const``/``type`` declarations do;
+    every other statement kind confines its declarations to a scope of its
+    own.  Blocks whose immediate statements declare nothing can skip their
+    child-environment allocation: the empty environment is unobservable
+    (lookups walk through it, and no cell is ever created in it)."""
+    if isinstance(stmt, ast.AssignStmt):
+        return stmt.tok == ":="
+    if isinstance(stmt, ast.DeclStmt):
+        return True
+    if isinstance(stmt, ast.LabeledStmt):
+        return _declares_inline(stmt.stmt)
+    return False
+
+
+_BOOL_OPS = frozenset(("==", "!=", "<", "<=", ">", ">=", "&&", "||"))
+
+
+def _always_bool(expr: ast.Expr) -> bool:
+    """Does ``expr`` always evaluate to a Python bool?
+
+    For such conditions ``if value:`` is exactly ``if is_truthy(value):``
+    (``is_truthy`` returns a bool argument unchanged), so the call can be
+    skipped at compile time."""
+    if isinstance(expr, ast.BinaryExpr):
+        return expr.op in _BOOL_OPS
+    if isinstance(expr, ast.UnaryExpr):
+        return expr.op == "!"
+    if isinstance(expr, ast.ParenExpr):
+        return _always_bool(expr.x)
+    if isinstance(expr, ast.Ident):
+        return expr.name in ("true", "false")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(node: ast.Expr, code: CodeCache) -> Code:
+    key = id(node)
+    entry = code.get(key)
+    if entry is not None and entry[0] is node:
+        return entry[1]
+    closure = _build_expr(node, code)
+    code[key] = (node, closure)
+    return closure
+
+
+def _build_expr(node: ast.Expr, code: CodeCache) -> Code:
+    folded, const = _const_value_of(node)
+    if folded:
+        return _const(const)
+
+    if isinstance(node, ast.Ident):
+        return _build_ident(node, code)
+    if isinstance(node, ast.SelectorExpr):
+        return _build_selector(node, code)
+    if isinstance(node, ast.CallExpr):
+        return _build_call(node, code)
+    if isinstance(node, ast.BinaryExpr):
+        return _build_binary(node, code)
+    if isinstance(node, ast.UnaryExpr):
+        return _build_unary(node, code)
+    if isinstance(node, ast.StarExpr):
+        return _build_deref(node, code)
+    if isinstance(node, ast.ParenExpr):
+        return compile_expr(node.x, code)
+    if isinstance(node, ast.IndexExpr):
+        return _build_index(node, code)
+    if isinstance(node, ast.CompositeLit):
+        return _build_composite(node, code)
+    if isinstance(node, ast.SliceExpr):
+
+        def run_slice(interp, goroutine, env):
+            result = yield from interp._eval_slice_expr(goroutine, node, env)
+            return result
+
+        return run_slice
+    if isinstance(node, ast.FuncLit):
+        compile_block(node.body, code)  # warm the closure body
+
+        def run_funclit(interp, goroutine, env):
+            if False:  # pragma: no cover - keeps this a generator
+                yield STEP
+            return interp._make_closure(goroutine, node, env)
+
+        return run_funclit
+    if isinstance(node, ast.TypeAssertExpr):
+        inner_code = compile_expr(node.x, code)
+
+        def run_assert(interp, goroutine, env):
+            inner = yield from inner_code(interp, goroutine, env)
+            return inner
+
+        return run_assert
+    if isinstance(node, (ast.ArrayType, ast.MapType, ast.ChanType, ast.StructType,
+                         ast.InterfaceType, ast.FuncType, ast.Ellipsis)):
+        return _const(TypeValue(expr=node))
+    if isinstance(node, ast.KeyValueExpr):
+        return compile_expr(node.value, code)
+
+    def run_unsupported(interp, goroutine, env):
+        if False:  # pragma: no cover - keeps this a generator
+            yield STEP
+        raise GoRuntimeError(f"unsupported expression: {type(node).__name__}")
+
+    return run_unsupported
+
+
+def _build_ident(node: ast.Ident, code: CodeCache) -> Code:
+    name = node.name
+    leaf = _leaf_line(node)
+    is_static_type = name in stdlib_static_type_names()
+    is_stdlib_pkg = stdlib.is_package(name)
+    type_value = TypeValue(expr=ast.Ident(name=name), name=name)
+    meta = _meta_of(code)
+    if meta is not None and name not in meta.bound_names:
+        # Provably never a variable: skip the environment walk entirely and
+        # resolve through the funcs/types/package fallbacks (which mirror
+        # ``_eval_ident``'s order after a lookup miss).
+        def run_unbound(interp, goroutine, env):
+            if False:  # pragma: no cover - keeps this a generator
+                yield STEP
+            funcs = interp.funcs
+            if name in funcs:
+                return FuncValue(decl=funcs[name], name=name)
+            if name in interp.types:
+                return type_value
+            if is_static_type:
+                return type_value
+            if is_stdlib_pkg or interp._is_imported(name):
+                return PackageRef(name=name)
+            raise GoRuntimeError(f"undefined: {name}")
+
+        return run_unbound
+
+    def run(interp, goroutine, env):
+        # Inlined ``Environment.lookup`` chain walk.
+        cell = None
+        scope = env
+        while scope is not None:
+            cell = scope.cells.get(name)
+            if cell is not None:
+                break
+            scope = scope.parent
+        if cell is not None:
+            # Inlined ``read_cell``: schedule point, access record, value.
+            yield STEP
+            gid = goroutine.gid
+            interp.detector.on_read(
+                gid, cell,
+                AccessRecord(gid, False, goroutine.stack_snapshot(leaf),
+                             cell.name, cell.address, goroutine.creation_stack))
+            return cell.value
+        funcs = interp.funcs
+        if name in funcs:
+            return FuncValue(decl=funcs[name], name=name)
+        if name in interp.types:
+            return type_value
+        if is_static_type:
+            return type_value
+        if is_stdlib_pkg or interp._is_imported(name):
+            return PackageRef(name=name)
+        raise GoRuntimeError(f"undefined: {name}")
+
+    return run
+
+
+_STATIC_TYPE_NAMES: Optional[frozenset] = None
+
+
+def stdlib_static_type_names() -> frozenset:
+    global _STATIC_TYPE_NAMES
+    if _STATIC_TYPE_NAMES is None:
+        from repro.runtime.interpreter import _NUMERIC_TYPES
+
+        _STATIC_TYPE_NAMES = frozenset(_NUMERIC_TYPES) | frozenset(
+            ("string", "bool", "error", "any", "float32", "float64"))
+    return _STATIC_TYPE_NAMES
+
+
+def _build_selector(node: ast.SelectorExpr, code: CodeCache) -> Code:
+    sel = node.sel
+    x_code = compile_expr(node.x, code)
+    owner_static = ast.base_name(node)
+    leaf = _leaf_line(node)
+
+    def select(interp, goroutine, base):
+        """Inlined ``_select_from``: pointer unwrap + the hot struct path."""
+        if isinstance(base, PointerValue):
+            target = base.target_struct()
+            if target is None and base.cell is not None:
+                base = base.cell.value
+            else:
+                base = target
+            if base is None:
+                raise GoPanic("invalid memory address or nil pointer dereference")
+        if isinstance(base, StructValue):
+            method = interp.methods.get((base.type_name, sel))
+            if method is not None and sel not in base.fields:
+                receiver: Any = base
+                if method.recv is not None and isinstance(method.recv.type_, ast.StarExpr):
+                    receiver = PointerValue(struct=base)
+                return FuncValue(decl=method, name=f"{base.type_name}.{sel}",
+                                 bound_receiver=receiver)
+            cell = base.field_cell(sel, owner_name=owner_static or base.type_name)
+            yield STEP
+            interp.detector.on_read(
+                goroutine.gid, cell,
+                AccessRecord(goroutine.gid, False, goroutine.stack_snapshot(leaf),
+                             cell.name, cell.address, goroutine.creation_stack))
+            return cell.value
+        result = yield from interp._select_from_value(goroutine, base, node)
+        return result
+
+    if isinstance(node.x, ast.Ident):
+        x_name = node.x.name
+        x_is_stdlib = stdlib.is_package(x_name)
+        qualified = TypeValue(expr=node, name=f"{x_name}.{sel}")
+        # ``get_member`` is a pure table lookup; resolve it once.
+        static_member = stdlib.get_member(x_name, sel)
+        meta = _meta_of(code)
+        if (meta is not None and x_name not in meta.bound_names
+                and (x_is_stdlib or x_name in meta.imported_names)):
+            # `pkg.Member` where `pkg` is provably never a variable: the
+            # whole selector folds to a constant at lowering time.
+            return _const(static_member if static_member is not None else qualified)
+
+        def run_qualified(interp, goroutine, env):
+            scope = env
+            while scope is not None:
+                if x_name in scope.cells:
+                    break
+                scope = scope.parent
+            if scope is None and (x_is_stdlib or interp._is_imported(x_name)):
+                if static_member is not None:
+                    return static_member
+                return qualified
+            base = yield from x_code(interp, goroutine, env)
+            result = yield from select(interp, goroutine, base)
+            return result
+
+        return run_qualified
+
+    def run(interp, goroutine, env):
+        base = yield from x_code(interp, goroutine, env)
+        result = yield from select(interp, goroutine, base)
+        return result
+
+    return run
+
+
+def _build_call(node: ast.CallExpr, code: CodeCache) -> Code:
+    fun = node.fun
+    builtin = _BUILTIN_HANDLERS.get(fun.name) if isinstance(fun, ast.Ident) else None
+    fun_name = fun.name if isinstance(fun, ast.Ident) else ""
+    meta = _meta_of(code)
+    if builtin is not None and meta is not None and fun_name not in meta.bound_names:
+        # The program provably never binds this builtin's name, so the
+        # shadowing lookup is statically None: the builtin always wins.
+        def run_builtin(interp, goroutine, env):
+            result = yield from builtin(interp, goroutine, node, env)
+            return result
+
+        return run_builtin
+    fun_code = compile_expr(fun, code)
+    arg_codes = tuple(compile_expr(arg, code) for arg in node.args)
+    single_arg = len(node.args) == 1
+    has_ellipsis = bool(node.ellipsis)
+
+    def run(interp, goroutine, env):
+        if builtin is not None and env.lookup(fun_name) is None:
+            result = yield from builtin(interp, goroutine, node, env)
+            return result
+        callee = yield from fun_code(interp, goroutine, env)
+        args: List[Any] = []
+        for arg_code in arg_codes:
+            value = yield from arg_code(interp, goroutine, env)
+            if isinstance(value, TupleValue) and single_arg:
+                args.extend(value.values)
+            else:
+                args.append(value)
+        if has_ellipsis and args and isinstance(args[-1], SliceValue):
+            spread = args.pop()
+            args.extend(cell.value for cell in spread.elements)
+        # Inlined ``_invoke`` dispatch.
+        if isinstance(callee, FuncValue):
+            result = yield from interp.call_function(goroutine, callee, args, node)
+            return result
+        if isinstance(callee, BuiltinFunc):
+            result = yield from callee.handler(interp, goroutine, args, node)
+            return result
+        if isinstance(callee, BoundMethod):
+            # Monomorphic fast paths for the hottest sync-primitive methods,
+            # mirroring ``_mutex_call``/``_waitgroup_call`` step for step;
+            # everything else falls through to the reference dispatch.
+            receiver = callee.receiver
+            method_name = callee.name
+            if type(receiver) is Mutex:
+                if method_name == "Lock":
+                    while not receiver.can_lock():
+                        yield blocked(receiver.can_lock, "sync.Mutex.Lock")
+                    receiver.lock(goroutine.gid)
+                    interp.detector.on_acquire(goroutine.gid, receiver.sync)
+                    yield STEP
+                    return None
+                if method_name == "Unlock":
+                    interp.detector.on_release(goroutine.gid, receiver.sync)
+                    receiver.unlock()
+                    yield STEP
+                    return None
+            elif type(receiver) is WaitGroup:
+                if method_name == "Add":
+                    receiver.add(int(args[0]) if args else 1)
+                    yield STEP
+                    return None
+                if method_name == "Done":
+                    interp.detector.on_release(goroutine.gid, receiver.sync)
+                    receiver.done()
+                    yield STEP
+                    return None
+                if method_name == "Wait":
+                    while not receiver.ready():
+                        yield blocked(receiver.ready, "sync.WaitGroup.Wait")
+                    interp.detector.on_acquire(goroutine.gid, receiver.sync)
+                    yield STEP
+                    return None
+            result = yield from interp.call_bound_method(goroutine, callee, args, node)
+            return result
+        if isinstance(callee, TypeValue):
+            return interp._convert(callee, args)
+        raise GoRuntimeError(f"cannot call value of type {type(callee).__name__}")
+
+    return run
+
+
+def _build_binary(node: ast.BinaryExpr, code: CodeCache) -> Code:
+    op = node.op
+    left_code = compile_expr(node.x, code)
+    right_code = compile_expr(node.y, code)
+    if op == "&&":
+
+        def run_and(interp, goroutine, env):
+            left = yield from left_code(interp, goroutine, env)
+            if not is_truthy(left):
+                return False
+            right = yield from right_code(interp, goroutine, env)
+            return is_truthy(right)
+
+        return run_and
+    if op == "||":
+
+        def run_or(interp, goroutine, env):
+            left = yield from left_code(interp, goroutine, env)
+            if is_truthy(left):
+                return True
+            right = yield from right_code(interp, goroutine, env)
+            return is_truthy(right)
+
+        return run_or
+    impl = _OP_IMPLS.get(op)
+    if impl is None:
+
+        def run_generic(interp, goroutine, env):
+            left = yield from left_code(interp, goroutine, env)
+            right = yield from right_code(interp, goroutine, env)
+            return _binary_op(op, left, right)
+
+        return run_generic
+
+    def run(interp, goroutine, env):
+        left = yield from left_code(interp, goroutine, env)
+        right = yield from right_code(interp, goroutine, env)
+        return impl(left, right)
+
+    return run
+
+
+def _build_unary(node: ast.UnaryExpr, code: CodeCache) -> Code:
+    op = node.op
+    if op == "<-":
+        chan_code = compile_expr(node.x, code)
+
+        def run_recv(interp, goroutine, env):
+            channel = yield from chan_code(interp, goroutine, env)
+            # Inlined ``channel_recv`` (single-value form).
+            if not isinstance(channel, Channel):
+                if channel is None:
+                    yield blocked(lambda: False, "receive on nil channel")
+                    raise GoRuntimeError("receive on nil channel")
+                raise GoRuntimeError("receive on non-channel value")
+            while not channel.can_recv():
+                yield blocked(channel.can_recv, f"receive on empty channel {channel.name}")
+            value, _ok = channel.recv()
+            interp.detector.on_acquire(goroutine.gid, channel.sync)
+            yield STEP
+            return value
+
+        return run_recv
+    if op == "&":
+
+        def run_addr(interp, goroutine, env):
+            result = yield from interp._eval_address_of(goroutine, node.x, env)
+            return result
+
+        return run_addr
+    operand_code = compile_expr(node.x, code)
+    if op == "-":
+        compute = lambda operand: -(operand or 0)
+    elif op == "+":
+        compute = lambda operand: operand
+    elif op == "!":
+        compute = lambda operand: not is_truthy(operand)
+    elif op == "^":
+        compute = lambda operand: ~(operand or 0)
+    else:
+
+        def run_unsupported(interp, goroutine, env):
+            yield from operand_code(interp, goroutine, env)
+            raise GoRuntimeError(f"unsupported unary operator {op}")
+
+        return run_unsupported
+
+    def run(interp, goroutine, env):
+        operand = yield from operand_code(interp, goroutine, env)
+        return compute(operand)
+
+    return run
+
+
+def _build_deref(node: ast.StarExpr, code: CodeCache) -> Code:
+    x_code = compile_expr(node.x, code)
+    leaf = _leaf_line(node)
+
+    def run(interp, goroutine, env):
+        pointer = yield from x_code(interp, goroutine, env)
+        if isinstance(pointer, PointerValue):
+            cell = pointer.cell
+            if cell is not None:
+                yield STEP
+                interp.detector.on_read(
+                    goroutine.gid, cell,
+                    AccessRecord(goroutine.gid, False, goroutine.stack_snapshot(leaf),
+                                 cell.name, cell.address, goroutine.creation_stack))
+                return cell.value
+            if pointer.struct is not None:
+                return pointer.struct
+        if pointer is None:
+            raise GoPanic("invalid memory address or nil pointer dereference")
+        # Dereferencing a non-pointer (e.g. generic code) degrades to identity.
+        return pointer
+
+    return run
+
+
+def _build_index(node: ast.IndexExpr, code: CodeCache) -> Code:
+    x_code = compile_expr(node.x, code)
+    index_code = compile_expr(node.index, code)
+    leaf = _leaf_line(node)
+
+    def run(interp, goroutine, env):
+        container = yield from x_code(interp, goroutine, env)
+        key = yield from index_code(interp, goroutine, env)
+        if isinstance(container, MapValue):
+            location = container.location
+            yield STEP
+            interp.detector.on_read(
+                goroutine.gid, location,
+                AccessRecord(goroutine.gid, False, goroutine.stack_snapshot(leaf),
+                             location.name, location.address, goroutine.creation_stack))
+            return container.entries.get(_map_key(key))
+        if isinstance(container, SliceValue):
+            index = int(key)
+            elements = container.elements
+            if index < 0 or index >= len(elements):
+                raise GoPanic(
+                    f"runtime error: index out of range [{index}] with length {len(elements)}"
+                )
+            cell = elements[index]
+            yield STEP
+            interp.detector.on_read(
+                goroutine.gid, cell,
+                AccessRecord(goroutine.gid, False, goroutine.stack_snapshot(leaf),
+                             cell.name, cell.address, goroutine.creation_stack))
+            return cell.value
+        # Uncommon containers, mirroring the reference branch order.
+        if isinstance(container, SyncMap):
+            value, _present = container.load(_map_key(key))
+            return value
+        if isinstance(container, str):
+            return container[int(key)]
+        if container is None:
+            # Reading from a nil map yields the zero value.
+            return None
+        raise GoRuntimeError(f"cannot index {format_value(container)}")
+
+    return run
+
+
+def _build_composite(node: ast.CompositeLit, code: CodeCache) -> Code:
+    """Hand-lowered composite literal, mirroring ``_eval_composite``.
+
+    The ``sync.*`` zero check on the literal's *written* type is a pure
+    function of the node and folds at compile time; the resolved underlying
+    type still comes from ``interp.types`` at run time (local ``type``
+    declarations can add entries), so the array/map/struct branch is decided
+    per evaluation — but with every element expression precompiled."""
+    from repro.runtime.interpreter import (
+        _struct_field_names,
+        _sync_zero,
+        _type_display,
+    )
+
+    type_expr = node.type_
+    static_sync = _sync_zero(type_expr)
+    if static_sync is not None:
+        # `sync.Mutex{}` etc.: the constructor is known statically; a fresh
+        # primitive materializes per evaluation, as in the reference.
+        ctor = type(static_sync)
+
+        def run_sync(interp, goroutine, env):
+            if False:  # pragma: no cover - keeps this a generator
+                yield STEP
+            return ctor()
+
+        return run_sync
+
+    display = _type_display(type_expr)
+    # Per-element lowering: (key_name, value_code) — key_name is None for
+    # positional elements; for map literals the key is an expression.
+    elements = []
+    for elt in node.elts:
+        if isinstance(elt, ast.KeyValueExpr):
+            key_name = elt.key.name if isinstance(elt.key, ast.Ident) else None
+            elements.append((True, key_name, compile_expr(elt.key, code),
+                             compile_expr(elt.value, code)))
+        else:
+            elements.append((False, None, None, compile_expr(elt, code)))
+
+    def run(interp, goroutine, env):
+        resolved = interp._resolve_type(type_expr)
+        if resolved is not type_expr:
+            sync_value = _sync_zero(resolved)
+            if sync_value is not None:
+                return sync_value
+        if isinstance(resolved, ast.ArrayType):
+            cells = []
+            for _is_kv, _key_name, _key_code, value_code in elements:
+                value = yield from value_code(interp, goroutine, env)
+                cells.append(Cell(value=interp._pass_value(value)))
+            return SliceValue(elements=cells, name=display)
+        if isinstance(resolved, ast.MapType):
+            result = MapValue(name=display)
+            for is_kv, _key_name, key_code, value_code in elements:
+                if is_kv:
+                    key = yield from key_code(interp, goroutine, env)
+                    value = yield from value_code(interp, goroutine, env)
+                    result.entries[_map_key(key)] = interp._pass_value(value)
+            return result
+        # Struct literal (named, qualified, or anonymous).
+        struct = interp._new_struct(type_expr)
+        positional_index = 0
+        declared_fields = _struct_field_names(resolved)
+        for is_kv, key_name, _key_code, value_code in elements:
+            if is_kv and key_name is not None:
+                value = yield from value_code(interp, goroutine, env)
+                struct.field_cell(key_name).value = interp._pass_value(value)
+            else:
+                value = yield from value_code(interp, goroutine, env)
+                if positional_index < len(declared_fields):
+                    struct.field_cell(declared_fields[positional_index]).value = \
+                        interp._pass_value(value)
+                positional_index += 1
+        return struct
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Assignment-target lowering
+# ---------------------------------------------------------------------------
+
+
+def compile_assign_target(target: ast.Expr, define: bool, code: CodeCache) -> Code:
+    """Lower an assignment target to ``(interp, goroutine, env, value) -> gen``.
+
+    Mirrors :meth:`Interpreter.assign_to`, including the leading
+    ``_pass_value`` struct-copy (which allocates cells and therefore must
+    happen even for discarded values, to keep addresses aligned)."""
+    if isinstance(target, ast.Ident):
+        name = target.name
+        leaf = _leaf_line(target)
+        if name == "_":
+
+            def run_blank(interp, goroutine, env, value):
+                if False:  # pragma: no cover - keeps this a generator
+                    yield STEP
+                interp._pass_value(value)
+                return None
+
+            return run_blank
+
+        def run_ident(interp, goroutine, env, value):
+            value = interp._pass_value(value)
+            if define:
+                cell = env.cells.get(name)
+                if cell is None:
+                    cell = env.declare(name)
+                    cell.name = name
+            else:
+                cell = env.lookup(name)
+                if cell is None:
+                    raise GoRuntimeError(f"undefined: {name}")
+            yield STEP
+            interp.detector.on_write(
+                goroutine.gid, cell,
+                AccessRecord(goroutine.gid, True, goroutine.stack_snapshot(leaf),
+                             cell.name, cell.address, goroutine.creation_stack))
+            cell.value = value
+            return None
+
+        return run_ident
+
+    if isinstance(target, ast.ParenExpr):
+        inner_code = compile_assign_target(target.x, define, code)
+
+        def run_paren(interp, goroutine, env, value):
+            # The reference recursion applies ``_pass_value`` at both levels;
+            # mirror it so struct-copy cell allocations stay aligned.
+            value = interp._pass_value(value)
+            yield from inner_code(interp, goroutine, env, value)
+            return None
+
+        return run_paren
+
+    def run_generic(interp, goroutine, env, value):
+        yield from Interpreter.assign_to(interp, goroutine, target, value, env, define)
+        return None
+
+    return run_generic
+
+
+# ---------------------------------------------------------------------------
+# Statement lowering
+# ---------------------------------------------------------------------------
+
+
+def compile_stmt(node: ast.Stmt, code: CodeCache) -> Code:
+    key = id(node)
+    entry = code.get(key)
+    if entry is not None and entry[0] is node:
+        return entry[1]
+    closure = _build_stmt(node, code)
+    code[key] = (node, closure)
+    return closure
+
+
+def compile_block(block: ast.BlockStmt, code: CodeCache) -> Code:
+    key = id(block)
+    entry = code.get(key)
+    if entry is not None and entry[0] is block:
+        return entry[1]
+    stmt_codes = tuple(compile_stmt(stmt, code) for stmt in block.stmts)
+    needs_scope = any(_declares_inline(stmt) for stmt in block.stmts)
+
+    if needs_scope:
+
+        def run(interp, goroutine, env):
+            child = Environment(parent=env)
+            for stmt_code in stmt_codes:
+                signal = yield from stmt_code(interp, goroutine, child)
+                if signal is not None:
+                    return signal
+            return None
+
+    else:
+
+        def run(interp, goroutine, env):
+            for stmt_code in stmt_codes:
+                signal = yield from stmt_code(interp, goroutine, env)
+                if signal is not None:
+                    return signal
+            return None
+
+    code[key] = (block, run)
+    return run
+
+
+def _build_stmt(node: ast.Stmt, code: CodeCache) -> Code:
+    line = node.pos.line
+
+    if isinstance(node, ast.ExprStmt):
+        expr_code = compile_expr(node.x, code)
+
+        def run_expr(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            yield from expr_code(interp, goroutine, env)
+            return None
+
+        return run_expr
+
+    if isinstance(node, ast.AssignStmt):
+        return _build_assign(node, code, line)
+
+    if isinstance(node, ast.IncDecStmt):
+        expr_code = compile_expr(node.x, code)
+        target_code = compile_assign_target(node.x, False, code)
+        delta = 1 if node.op == "++" else -1
+
+        def run_incdec(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            current = yield from expr_code(interp, goroutine, env)
+            yield from target_code(interp, goroutine, env, (current or 0) + delta)
+            return None
+
+        return run_incdec
+
+    if isinstance(node, ast.ReturnStmt):
+        result_codes = tuple(compile_expr(expr, code) for expr in node.results)
+        single_result = len(node.results) == 1
+
+        def run_return(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            values: List[Any] = []
+            for result_code in result_codes:
+                value = yield from result_code(interp, goroutine, env)
+                if isinstance(value, TupleValue) and single_result:
+                    values.extend(value.values)
+                else:
+                    values.append(value)
+            return ReturnSignal(values=values)
+
+        return run_return
+
+    if isinstance(node, ast.BranchStmt):
+        tok = node.tok
+        if tok == "break":
+            signal: Optional[Signal] = BreakSignal(label=node.label)
+        elif tok == "continue":
+            signal = ContinueSignal(label=node.label)
+        elif tok == "fallthrough":
+            signal = None
+        else:
+
+            def run_bad_branch(interp, goroutine, env):
+                if False:  # pragma: no cover - keeps this a generator
+                    yield STEP
+                raise GoRuntimeError(f"unsupported branch statement: {tok}")
+
+            return run_bad_branch
+
+        def run_branch(interp, goroutine, env):
+            if False:  # pragma: no cover - keeps this a generator
+                yield STEP
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            return signal
+
+        return run_branch
+
+    if isinstance(node, ast.BlockStmt):
+        block_code = compile_block(node, code)
+
+        def run_block(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            signal = yield from block_code(interp, goroutine, env)
+            return signal
+
+        return run_block
+
+    if isinstance(node, ast.IfStmt):
+        init_code = compile_stmt(node.init, code) if node.init is not None else None
+        cond_code = compile_expr(node.cond, code)
+        body_code = compile_block(node.body, code)
+        else_code = compile_stmt(node.else_, code) if node.else_ is not None else None
+        # The if-scope only ever receives declarations from the init
+        # statement; without one it is pure pass-through.
+        needs_scope = node.init is not None
+        cond_is_bool = _always_bool(node.cond)
+
+        def run_if(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            scope = Environment(parent=env) if needs_scope else env
+            if init_code is not None:
+                yield from init_code(interp, goroutine, scope)
+            cond = yield from cond_code(interp, goroutine, scope)
+            if cond if cond_is_bool else is_truthy(cond):
+                signal = yield from body_code(interp, goroutine, scope)
+                return signal
+            if else_code is not None:
+                signal = yield from else_code(interp, goroutine, scope)
+                return signal
+            return None
+
+        return run_if
+
+    if isinstance(node, ast.ForStmt):
+        init_code = compile_stmt(node.init, code) if node.init is not None else None
+        cond_code = compile_expr(node.cond, code) if node.cond is not None else None
+        body_code = compile_block(node.body, code)
+        post_code = compile_stmt(node.post, code) if node.post is not None else None
+        # The loop scope receives declarations only from init/post.
+        needs_scope = node.init is not None or (
+            node.post is not None and _declares_inline(node.post))
+        cond_is_bool = _always_bool(node.cond) if node.cond is not None else True
+
+        def run_for(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            label = getattr(node, "_label", None)
+            scope = Environment(parent=env) if needs_scope else env
+            if init_code is not None:
+                yield from init_code(interp, goroutine, scope)
+            while True:
+                if cond_code is not None:
+                    cond = yield from cond_code(interp, goroutine, scope)
+                    if not (cond if cond_is_bool else is_truthy(cond)):
+                        return None
+                signal = yield from body_code(interp, goroutine, scope)
+                if isinstance(signal, BreakSignal):
+                    if signal.label is None or signal.label == label:
+                        return None
+                    return signal
+                if isinstance(signal, ContinueSignal):
+                    if signal.label is not None and signal.label != label:
+                        return signal
+                elif isinstance(signal, Signal):
+                    return signal
+                if post_code is not None:
+                    yield from post_code(interp, goroutine, scope)
+                yield STEP
+
+        return run_for
+
+    if isinstance(node, ast.GoStmt):
+        fun_code = compile_expr(node.call.fun, code)
+        arg_codes = tuple(compile_expr(arg, code) for arg in node.call.args)
+
+        def run_go(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            callee = yield from fun_code(interp, goroutine, env)
+            args: List[Any] = []
+            for arg_code in arg_codes:
+                value = yield from arg_code(interp, goroutine, env)
+                args.append(interp._pass_value(value))
+            interp.spawn(goroutine, callee, args, node)
+            yield STEP
+            return None
+
+        return run_go
+
+    if isinstance(node, ast.DeferStmt):
+        fun_code = compile_expr(node.call.fun, code)
+        arg_codes = tuple(compile_expr(arg, code) for arg in node.call.args)
+
+        def run_defer(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            callee = yield from fun_code(interp, goroutine, env)
+            args: List[Any] = []
+            for arg_code in arg_codes:
+                value = yield from arg_code(interp, goroutine, env)
+                args.append(interp._pass_value(value))
+            goroutine.stack[-1].push_deferred((callee, args))
+            return None
+
+        return run_defer
+
+    if isinstance(node, ast.SendStmt):
+        chan_code = compile_expr(node.chan, code)
+        value_code = compile_expr(node.value, code)
+
+        def run_send(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            channel = yield from chan_code(interp, goroutine, env)
+            value = yield from value_code(interp, goroutine, env)
+            # Inlined ``channel_send``.
+            if not isinstance(channel, Channel):
+                raise GoPanic("send on nil channel" if channel is None
+                              else "send on non-channel value")
+            while not channel.can_send():
+                yield blocked(channel.can_send, f"send on full channel {channel.name}")
+            interp.detector.on_release(goroutine.gid, channel.sync)
+            channel.send(_copy_struct(value) if isinstance(value, StructValue) else value)
+            yield STEP
+            return None
+
+        return run_send
+
+    if isinstance(node, ast.LabeledStmt):
+        inner = node.stmt
+        label = node.label
+        # The reference sets ``_label`` on every execution; the value is
+        # static, so attach it once at lowering time — the shared AST then
+        # really is immutable at runtime.
+        setattr(inner, "_label", label)
+        inner_code = compile_stmt(inner, code)
+
+        def run_labeled(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            signal = yield from inner_code(interp, goroutine, env)
+            if isinstance(signal, BreakSignal) and signal.label == label:
+                return None
+            return signal
+
+        return run_labeled
+
+    if isinstance(node, ast.EmptyStmt):
+
+        def run_empty(interp, goroutine, env):
+            if False:  # pragma: no cover - keeps this a generator
+                yield STEP
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            return None
+
+        return run_empty
+
+    if isinstance(node, ast.RangeStmt):
+        return _build_range(node, code, line)
+
+    # Remaining statement kinds (decl, switch, select) lower to thin
+    # wrappers over the reference implementation; their sub-statements and
+    # sub-expressions still run compiled via the interpreter's overridden
+    # dispatch methods.
+    if isinstance(node, ast.DeclStmt):
+        method = Interpreter.exec_decl_stmt
+    elif isinstance(node, ast.SwitchStmt):
+        method = Interpreter.exec_switch
+    elif isinstance(node, ast.SelectStmt):
+        method = Interpreter.exec_select
+    else:
+
+        def run_unsupported(interp, goroutine, env):
+            if False:  # pragma: no cover - keeps this a generator
+                yield STEP
+            raise GoRuntimeError(f"unsupported statement: {type(node).__name__}")
+
+        return run_unsupported
+
+    def run_wrapped(interp, goroutine, env, method=method):
+        stack = goroutine.stack
+        if stack and line:
+            stack[-1].line = line
+        signal = yield from method(interp, goroutine, node, env)
+        return signal
+
+    return run_wrapped
+
+
+def _build_range(node: ast.RangeStmt, code: CodeCache, line: int) -> Code:
+    """Hand-lowered ``for ... range``, mirroring ``exec_range`` exactly
+    (per-loop variable cells, ``_range_items`` iteration, write/assign order,
+    signal handling, trailing schedule point)."""
+    x_code = compile_expr(node.x, code)
+    body_code = compile_block(node.body, code)
+    is_define = node.tok == ":="
+    key_name = None
+    value_name = None
+    if is_define:
+        if isinstance(node.key, ast.Ident) and node.key.name != "_":
+            key_name = node.key.name
+        if isinstance(node.value, ast.Ident) and node.value.name != "_":
+            value_name = node.value.name
+    key_leaf = _leaf_line(node.key) if node.key is not None else None
+    value_leaf = _leaf_line(node.value) if node.value is not None else None
+    key_target = None
+    value_target = None
+    if not is_define:
+        if node.key is not None:
+            key_target = compile_assign_target(node.key, False, code)
+        if node.value is not None:
+            value_target = compile_assign_target(node.value, False, code)
+
+    def run(interp, goroutine, env):
+        stack = goroutine.stack
+        if stack and line:
+            stack[-1].line = line
+        label = getattr(node, "_label", None)
+        scope = Environment(parent=env)
+        container = yield from x_code(interp, goroutine, env)
+        # Loop variables have per-loop scope (Go <= 1.21); see the
+        # interpreter module docstring.
+        key_cell = scope.declare(key_name) if key_name is not None else None
+        value_cell = scope.declare(value_name) if value_name is not None else None
+        items = yield from interp._range_items(goroutine, container, node)
+        detector = interp.detector
+        gid = goroutine.gid
+        for key, value in items:
+            if is_define:
+                if key_cell is not None:
+                    # Inlined ``write_cell`` on the per-loop key cell.
+                    yield STEP
+                    detector.on_write(
+                        gid, key_cell,
+                        AccessRecord(gid, True, goroutine.stack_snapshot(key_leaf),
+                                     key_cell.name, key_cell.address,
+                                     goroutine.creation_stack))
+                    key_cell.value = key
+                if value_cell is not None:
+                    passed = interp._pass_value(value)
+                    yield STEP
+                    detector.on_write(
+                        gid, value_cell,
+                        AccessRecord(gid, True, goroutine.stack_snapshot(value_leaf),
+                                     value_cell.name, value_cell.address,
+                                     goroutine.creation_stack))
+                    value_cell.value = passed
+            else:
+                if key_target is not None:
+                    yield from key_target(interp, goroutine, scope, key)
+                if value_target is not None:
+                    yield from value_target(interp, goroutine, scope, value)
+            signal = yield from body_code(interp, goroutine, scope)
+            if isinstance(signal, BreakSignal):
+                if signal.label is None or signal.label == label:
+                    return None
+                return signal
+            if isinstance(signal, ContinueSignal):
+                if signal.label is not None and signal.label != label:
+                    return signal
+            elif isinstance(signal, Signal):
+                return signal
+            yield STEP
+        return None
+
+    return run
+
+
+def _build_assign(node: ast.AssignStmt, code: CodeCache, line: int) -> Code:
+    tok = node.tok
+    if tok not in ("=", ":="):
+        # Augmented assignment: x op= y.
+        op = tok[:-1]
+        impl = _OP_IMPLS.get(op)
+        lhs_code = compile_expr(node.lhs[0], code)
+        rhs_code = compile_expr(node.rhs[0], code)
+        target_code = compile_assign_target(node.lhs[0], False, code)
+
+        def run_augmented(interp, goroutine, env):
+            stack = goroutine.stack
+            if stack and line:
+                stack[-1].line = line
+            current = yield from lhs_code(interp, goroutine, env)
+            operand = yield from rhs_code(interp, goroutine, env)
+            if impl is not None:
+                value = impl(current, operand)
+            else:
+                value = _binary_op(op, current, operand)
+            yield from target_code(interp, goroutine, env, value)
+            return None
+
+        return run_augmented
+
+    define = tok == ":="
+    n_targets = len(node.lhs)
+    target_codes = tuple(compile_assign_target(t, define, code) for t in node.lhs)
+    rhs_codes = tuple(compile_expr(r, code) for r in node.rhs)
+    spread_rhs = len(node.rhs) == 1 and n_targets > 1
+    spread_expr = node.rhs[0] if spread_rhs else None
+
+    def run(interp, goroutine, env):
+        stack = goroutine.stack
+        if stack and line:
+            stack[-1].line = line
+        if spread_rhs:
+            values = yield from interp.eval_expr_multi(goroutine, spread_expr, env, n_targets)
+        else:
+            values = []
+            for rhs_code in rhs_codes:
+                value = yield from rhs_code(interp, goroutine, env)
+                if isinstance(value, TupleValue):
+                    value = value.values[0] if value.values else None
+                values.append(value)
+        # Pad unconditionally, mirroring ``_eval_rhs``: comma-ok forms return
+        # exactly two values however many targets there are.
+        while len(values) < n_targets:
+            values.append(None)
+        for target_code, value in zip(target_codes, values):
+            yield from target_code(interp, goroutine, env, value)
+        return None
+
+    return run
+
+
+def _build_call_plan(func_type: ast.FuncType):
+    """Flatten a function type's parameter/result fields into binding lists.
+
+    Mirrors ``_bind_parameters``'s nested iteration, including its quirks
+    (unnamed params bind as ``"_"``; the variadic flag attaches to the last
+    parameter *name* by equality)."""
+    params: List[Tuple[str, bool, Optional[ast.Expr]]] = []
+    for param in func_type.params:
+        names = param.names or ["_"]
+        last = names[-1]
+        for name in names:
+            params.append((name, bool(param.variadic) and name == last, param.type_))
+    results: List[Tuple[str, Optional[ast.Expr]]] = [
+        (result_name, result_field.type_)
+        for result_field in func_type.results
+        for result_name in result_field.names
+    ]
+    flat_params = sum(len(f.names) or 1 for f in func_type.params)
+    return params, results, flat_params
+
+
+# ---------------------------------------------------------------------------
+# Compiled program + interpreter
+# ---------------------------------------------------------------------------
+
+
+class CompiledProgram:
+    """Parsed files plus the shared code cache, reused across runs."""
+
+    __slots__ = ("files", "tests", "fingerprint", "code")
+
+    def __init__(self, files: List[ast.File], fingerprint: str = ""):
+        self.files = list(files)
+        self.fingerprint = fingerprint
+        self.code: CodeCache = {}
+        # Static whole-program facts must be in place before lowering starts.
+        self.code[_META_KEY] = _ProgramMeta(self.files)
+        self.tests: List[ast.FuncDecl] = [
+            decl
+            for file in self.files
+            for decl in file.func_decls()
+            if decl.name.startswith("Test") and decl.recv is None and decl.body is not None
+        ]
+        self._warm()
+
+    def _warm(self) -> None:
+        """Eagerly lower every function body and global initializer."""
+        for file in self.files:
+            for decl in file.decls:
+                if isinstance(decl, ast.FuncDecl):
+                    if decl.body is not None:
+                        compile_block(decl.body, self.code)
+                elif isinstance(decl, ast.GenDecl):
+                    for spec in decl.specs:
+                        if isinstance(spec, ast.ValueSpec):
+                            for expr in spec.values:
+                                compile_expr(expr, self.code)
+
+
+class CompiledInterpreter(Interpreter):
+    """An interpreter whose statement/expression dispatch is precompiled.
+
+    Inherits every reference method — a compiled node may delegate to them,
+    and their recursive ``self.eval_expr``/``self.exec_stmt`` calls re-enter
+    the compiled dispatch below, so mixed execution stays bit-identical."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        detector: Optional[RaceDetector] = None,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        super().__init__(program.files, detector=detector, scheduler=scheduler)
+        self.program = program
+        self._code = program.code
+
+    def eval_expr(self, goroutine: Goroutine, expr: ast.Expr, env: Environment) -> Generator:
+        entry = self._code.get(id(expr))
+        if entry is None or entry[0] is not expr:
+            closure = compile_expr(expr, self._code)
+        else:
+            closure = entry[1]
+        result = yield from closure(self, goroutine, env)
+        return result
+
+    def eval_expr_multi(self, goroutine: Goroutine, expr: ast.Expr, env: Environment,
+                        n_targets: int) -> Generator:
+        if n_targets == 1:
+            result = yield from self.eval_expr(goroutine, expr, env)
+            return result
+        result = yield from Interpreter.eval_expr_multi(self, goroutine, expr, env, n_targets)
+        return result
+
+    def exec_stmt(self, goroutine: Goroutine, stmt: ast.Stmt, env: Environment) -> Generator:
+        entry = self._code.get(id(stmt))
+        if entry is None or entry[0] is not stmt:
+            closure = compile_stmt(stmt, self._code)
+        else:
+            closure = entry[1]
+        signal = yield from closure(self, goroutine, env)
+        return signal
+
+    def exec_block(self, goroutine: Goroutine, block: ast.BlockStmt,
+                   env: Environment) -> Generator:
+        entry = self._code.get(id(block))
+        if entry is None or entry[0] is not block:
+            closure = compile_block(block, self._code)
+        else:
+            closure = entry[1]
+        signal = yield from closure(self, goroutine, env)
+        return signal
+
+    def call_function(self, goroutine: Goroutine, func: FuncValue, args: List[Any],
+                      node: Optional[ast.Node]) -> Generator:
+        """The reference ``call_function`` with per-signature work precompiled.
+
+        The parameter/result binding plan is derived from the function type
+        once and cached; binding then runs one flat loop.  Every observable
+        effect — declare order (and therefore cell addresses), struct copies,
+        zero values, frame bookkeeping, deferred-call unwinding — matches the
+        reference implementation exactly."""
+        code = self._code
+        decl = func.decl
+        if decl is not None:
+            body = decl.body
+            func_type = decl.type_
+            parent_env = self.globals
+            file_name = self._func_files.get(id(decl), "<source>")
+        else:
+            lit = func.lit
+            body = lit.body
+            func_type = lit.type_
+            parent_env = func.env if func.env is not None else self.globals
+            if func.file:
+                file_name = func.file
+            else:
+                file_name = goroutine.stack[-1].file if goroutine.stack else "<source>"
+        if body is None:
+            raise GoRuntimeError(f"function {func.display_name()} has no body")
+        plan_entry = code.get(id(func_type))
+        if plan_entry is not None and plan_entry[0] is func_type:
+            params, results, flat_params = plan_entry[1]
+        else:
+            params, results, flat_params = _build_call_plan(func_type)
+            code[id(func_type)] = (func_type, (params, results, flat_params))
+
+        env = Environment(parent=parent_env)
+        if decl is not None and decl.recv is not None:
+            receiver_value = func.bound_receiver
+            for recv_name in decl.recv.names:
+                env.declare(recv_name, receiver_value)
+        if len(args) == 1 and isinstance(args[0], TupleValue) and flat_params > 1:
+            args = list(args[0].values)
+        index = 0
+        n_args = len(args)
+        for name, is_variadic, type_ in params:
+            if is_variadic:
+                rest = [_copy_struct(v) if isinstance(v, StructValue) else v
+                        for v in args[index:]]
+                env.declare(name, SliceValue(elements=[Cell(value=v) for v in rest],
+                                             name=name))
+                index = n_args
+            else:
+                value = args[index] if index < n_args else self._zero_for_type(type_)
+                # Inlined ``_pass_value``: Go's value semantics copy structs.
+                if isinstance(value, StructValue):
+                    value = _copy_struct(value)
+                env.declare(name, value)
+                index += 1
+        for result_name, result_type in results:
+            env.declare(result_name, self._zero_for_type(result_type))
+
+        entry = code.get(id(body))
+        if entry is None or entry[0] is not body:
+            block_code = compile_block(body, code)
+        else:
+            block_code = entry[1]
+        frame = Frame(func_name=func.display_name(), file=file_name, line=body.pos.line)
+        goroutine.push_frame(frame)
+        return_values: List[Any] = []
+        panic: Optional[BaseException] = None
+        try:
+            signal = yield from block_code(self, goroutine, env)
+            if isinstance(signal, ReturnSignal):
+                return_values = signal.values
+            if not return_values and func_type.results:
+                # Bare return with named results.
+                return_values = []
+                for result_name, _result_type in results:
+                    cell = env.lookup(result_name)
+                    return_values.append(cell.value if cell is not None else None)
+        except GoPanic as exc:
+            panic = exc
+        # Deferred calls run in LIFO order even when unwinding a panic.
+        if frame.deferred:
+            for deferred_func, deferred_args in reversed(frame.deferred):
+                yield from self._invoke(goroutine, deferred_func, list(deferred_args), node)
+        goroutine.pop_frame()
+        if panic is not None:
+            raise panic
+        if len(return_values) == 1:
+            return return_values[0]
+        if return_values:
+            return TupleValue(values=return_values)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Program cache
+# ---------------------------------------------------------------------------
+
+
+class BuiltPackage:
+    """One cached build: parse results plus (lazily) the compiled program.
+
+    Lowering is deferred until a compiled-engine run first asks for the
+    program, so a tree-only process (``--engine tree``) never pays it; parse
+    results and test discovery are shared by both engines."""
+
+    __slots__ = ("fingerprint", "files", "errors", "tests", "stdlib_generation",
+                 "_program", "_lock")
+
+    def __init__(self, fingerprint: str, files: List[ast.File], errors: List[str],
+                 stdlib_generation: int):
+        self.fingerprint = fingerprint
+        self.files = files
+        self.errors = errors
+        self.tests: List[ast.FuncDecl] = [
+            decl
+            for file in files
+            for decl in file.func_decls()
+            if decl.name.startswith("Test") and decl.recv is None and decl.body is not None
+        ]
+        #: Stdlib-registry generation this build's lowerings captured; a
+        #: later :func:`repro.runtime.stdlib.register_package` invalidates it.
+        #: Sampled by the builder *before* parsing/lowering so a registration
+        #: racing the build can only make the entry look stale (a rebuild),
+        #: never fresh.
+        self.stdlib_generation = stdlib_generation
+        self._program: Optional[CompiledProgram] = None
+        self._lock = threading.Lock()
+
+    @property
+    def program(self) -> Optional[CompiledProgram]:
+        """The compiled program, if lowering has happened (or ``None``)."""
+        return self._program
+
+    def ensure_program(self) -> Optional[CompiledProgram]:
+        """Lower the program on first compiled-engine use (thread-safe)."""
+        if self.errors:
+            return None
+        program = self._program
+        if program is None:
+            with self._lock:
+                program = self._program
+                if program is None:
+                    program = CompiledProgram(self.files, fingerprint=self.fingerprint)
+                    self._program = program
+        return program
+
+
+def package_fingerprint(package) -> str:
+    """A stable digest of a package's name and file contents."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(package.name.encode("utf-8"))
+    for file in package.files:
+        digest.update(b"\x00")
+        digest.update(file.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(file.source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ProgramCache:
+    """Process-wide LRU of :class:`BuiltPackage` keyed by source fingerprint.
+
+    Shared by every harness in the process (and by every thread worker);
+    process-pool workers each warm their own copy, which still amortizes the
+    build across the many runs of one worker's chunk."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, BuiltPackage]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, package) -> BuiltPackage:
+        fingerprint = package_fingerprint(package)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None and entry.stdlib_generation == stdlib.generation():
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                return entry
+            self.misses += 1
+        # Sample the stdlib generation before lowering: closures freeze
+        # member lookups, so a registration racing this build must invalidate
+        # the entry, not be masked by a post-build generation read.
+        generation = stdlib.generation()
+        files: List[ast.File] = []
+        errors: List[str] = []
+        for file in package.files:
+            try:
+                files.append(parse_file(file.source, file.name))
+            except GoSyntaxError as exc:
+                errors.append(str(exc))
+        entry = BuiltPackage(fingerprint, files, errors, generation)
+        with self._lock:
+            self._entries[fingerprint] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide program cache used by the harness.
+PROGRAM_CACHE = ProgramCache()

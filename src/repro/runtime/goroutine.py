@@ -16,20 +16,29 @@ class GoroutineState(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """An interpreter call-stack frame."""
 
     func_name: str
     file: str
     line: int = 0
-    deferred: List[Any] = field(default_factory=list)
+    #: Deferred ``(callee, args)`` pairs, LIFO.  ``None`` until the first
+    #: ``defer`` — most frames never defer, so the list is lazy (see
+    #: :meth:`push_deferred`).
+    deferred: Optional[List[Any]] = None
 
     def snapshot(self) -> StackFrameTuple:
         return (self.func_name, self.file, self.line)
 
+    def push_deferred(self, entry: Any) -> None:
+        if self.deferred is None:
+            self.deferred = [entry]
+        else:
+            self.deferred.append(entry)
 
-@dataclass
+
+@dataclass(slots=True)
 class SchedulePoint:
     """A value yielded by interpreter coroutines to the scheduler.
 
@@ -51,7 +60,7 @@ def blocked(predicate: Callable[[], bool], reason: str) -> SchedulePoint:
     return SchedulePoint(kind="block", predicate=predicate, reason=reason)
 
 
-@dataclass
+@dataclass(slots=True)
 class Goroutine:
     """One logical Go thread of execution."""
 
@@ -66,14 +75,51 @@ class Goroutine:
     failure: Optional[BaseException] = None
     result: Any = None
     steps: int = 0
+    #: Memoized snapshots (see :meth:`stack_snapshot`).  ``_parents`` caches
+    #: the snapshot tuples of every non-leaf frame — those frames' lines are
+    #: frozen while a call is in flight, so the cache is invalidated only by
+    #: :meth:`push_frame`/:meth:`pop_frame`.  ``_snap``/``_snap_line`` cache
+    #: the full snapshot for repeated accesses at the same leaf line (the
+    #: common case: consecutive memory accesses of one statement).
+    _parents: Optional[Tuple[StackFrameTuple, ...]] = field(
+        default=None, repr=False, compare=False)
+    _snap: Optional[Tuple[StackFrameTuple, ...]] = field(
+        default=None, repr=False, compare=False)
+    _snap_line: int = field(default=-1, repr=False, compare=False)
+    _snap_file: str = field(default="", repr=False, compare=False)
+
+    # -- call-stack maintenance -----------------------------------------------------------
+
+    def push_frame(self, frame: Frame) -> None:
+        self.stack.append(frame)
+        self._parents = None
+        self._snap = None
+
+    def pop_frame(self) -> Frame:
+        frame = self.stack.pop()
+        self._parents = None
+        self._snap = None
+        return frame
 
     def stack_snapshot(self, leaf_line: int | None = None) -> Tuple[StackFrameTuple, ...]:
         """Return the current call stack, leaf frame first."""
-        frames = [frame.snapshot() for frame in reversed(self.stack)]
-        if frames and leaf_line:
-            func, file, _ = frames[0]
-            frames[0] = (func, file, leaf_line)
-        return tuple(frames)
+        stack = self.stack
+        if not stack:
+            return ()
+        leaf = stack[-1]
+        line = leaf_line if leaf_line else leaf.line
+        parents = self._parents
+        if (parents is not None and self._snap is not None
+                and self._snap_line == line and self._snap_file == leaf.file):
+            return self._snap
+        if parents is None:
+            parents = tuple(frame.snapshot() for frame in stack[-2::-1])
+            self._parents = parents
+        snap = ((leaf.func_name, leaf.file, line),) + parents
+        self._snap = snap
+        self._snap_line = line
+        self._snap_file = leaf.file
+        return snap
 
     @property
     def is_live(self) -> bool:

@@ -2,8 +2,15 @@
 
 The harness owns the pieces Dr.Fix's validator needs (Section 4.4.1):
 
-* **build** — parse every file of the package; syntax errors become build
-  failures fed back to the model;
+* **build** — parse and lower every file of the package through the
+  process-wide :data:`~repro.runtime.compiler.PROGRAM_CACHE` (keyed by source
+  fingerprint, so repeated harness invocations over the same package — the
+  validator runs thousands — parse and compile once); syntax errors become
+  build failures fed back to the model;
+* **engine selection** — each (seed, policy) run executes on the compile-once
+  engine by default, or the reference tree-walk with ``engine="tree"``; the
+  two are bit-identical (same reports, failures, and output — enforced by the
+  corpus-wide differential test);
 * **test discovery** — every top-level ``TestXxx`` function is a test;
 * **testing.T** — ``t.Run`` / ``t.Parallel`` follow Go's semantics: a parallel
   subtest pauses until its parent test function returns, then all parallel
@@ -16,9 +23,11 @@ The harness owns the pieces Dr.Fix's validator needs (Section 4.4.1):
 * **parallel runs** — the per-seed runs are independent, so they dispatch
   through the shared :class:`~repro.execution.CaseExecutor` (serial, thread,
   or process backend; results merged in submission order, which keeps a
-  parallel run bit-identical to a serial one).  The nested-parallelism budget
-  (``DRFIX_NESTED_BUDGET``) keeps harness workers from oversubscribing a
-  machine whose pipeline-level executor is already fanned out;
+  parallel run bit-identical to a serial one).  Serial and thread backends
+  share one cached build; process workers rebuild through their own per-
+  process cache (once per worker, not once per run).  The nested-parallelism
+  budget (``DRFIX_NESTED_BUDGET``) keeps harness workers from oversubscribing
+  a machine whose pipeline-level executor is already fanned out;
 * **early exit** — in detection, ``stop_on_first_race`` cancels outstanding
   runs once a run (scanned in submission order) has produced a race;
 * **race collection** — detector races are rendered as ThreadSanitizer-format
@@ -29,12 +38,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Generator, List, Optional, Sequence, Tuple
 
-from repro.errors import DeadlockError, GoPanic, GoRuntimeError, GoSyntaxError
-from repro.execution import CaseExecutor, ExecutorKind
+from repro.errors import GoPanic, GoRuntimeError
+from repro.execution import CaseExecutor, EngineKind, ExecutorKind, resolve_engine
 from repro.golang import ast_nodes as ast
-from repro.golang.parser import parse_file
+from repro.runtime.compiler import PROGRAM_CACHE, BuiltPackage, CompiledInterpreter
 from repro.runtime.goroutine import Goroutine, STEP, blocked
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.race_detector import RaceDetector
@@ -108,7 +117,12 @@ class TestingT:
     # -- bookkeeping --------------------------------------------------------------------
 
     def all_finished(self) -> bool:
-        return all(sub.done for sub in self.subtests)
+        # Hot blocked-predicate: a plain loop avoids a generator allocation
+        # per scheduler poll.
+        for sub in self.subtests:
+            if not sub.done:
+                return False
+        return True
 
     def mark_failed(self, message: str) -> None:
         self.messages.append(message)
@@ -233,6 +247,9 @@ class PackageRunResult:
     #: Output lines dropped by the per-run retention cap (see
     #: ``GoTestHarness.max_output_lines``).
     output_lines_truncated: int = 0
+    #: Total scheduler steps across all runs (throughput accounting for the
+    #: interpreter benchmarks; no effect on results).
+    scheduler_steps: int = 0
 
     @property
     def built(self) -> bool:
@@ -286,12 +303,18 @@ class GoTestHarness:
         executor: "ExecutorKind | str | None" = None,
         stop_on_first_race: bool = False,
         max_output_lines: int = 200,
+        engine: "EngineKind | str | None" = None,
     ):
         self.package = package
         self.runs = runs
         self.seed = seed
         self.max_steps = max_steps
         self.policies = list(policies)
+        #: Which interpreter executes each run: the compile-once engine
+        #: (default — the package is lowered once via the process-wide
+        #: :data:`~repro.runtime.compiler.PROGRAM_CACHE` and reused across
+        #: every (seed, policy) run) or the reference tree-walk.
+        self.engine = resolve_engine(engine)
         #: Worker count for the per-seed runs (1 = the inline serial loop;
         #: ``None``/0 resolves ``DRFIX_JOBS``).  Clamped by the nested budget
         #: when a pipeline-level executor is already fanned out.
@@ -308,15 +331,18 @@ class GoTestHarness:
 
     # -- build ---------------------------------------------------------------------------
 
+    def build(self) -> BuiltPackage:
+        """Parse + lower the package through the process-wide program cache.
+
+        The first build of a package pays parsing and lowering once; every
+        later harness (repeat validator sweeps, other threads) gets the cached
+        :class:`~repro.runtime.compiler.BuiltPackage` by source fingerprint.
+        """
+        return PROGRAM_CACHE.get_or_build(self.package)
+
     def parse(self) -> tuple[List[ast.File], List[str]]:
-        files: List[ast.File] = []
-        errors: List[str] = []
-        for file in self.package.files:
-            try:
-                files.append(parse_file(file.source, file.name))
-            except GoSyntaxError as exc:
-                errors.append(str(exc))
-        return files, errors
+        build = self.build()
+        return list(build.files), list(build.errors)
 
     @staticmethod
     def discover_tests(files: Sequence[ast.File]) -> List[ast.FuncDecl]:
@@ -345,11 +371,11 @@ class GoTestHarness:
 
     def run(self, entry_functions: Optional[Sequence[str]] = None) -> PackageRunResult:
         result = PackageRunResult(package=self.package.name)
-        files, errors = self.parse()
-        if errors:
-            result.build_errors = errors
+        build = self.build()
+        if build.errors:
+            result.build_errors = list(build.errors)
             return result
-        tests = self.discover_tests(files)
+        tests = build.tests
         result.tests_discovered = len(tests)
         entries: List[str] = list(entry_functions) if entry_functions else []
         if not tests and not entries:
@@ -358,17 +384,19 @@ class GoTestHarness:
 
         plan = self.plan_runs()
         pool = CaseExecutor(kind=self.executor_kind, jobs=self.jobs)
-        if pool.kind is ExecutorKind.SERIAL:
-            # Inline loop over the pre-parsed ASTs: the hot path (the
-            # validator runs thousands of these) pays no dispatch overhead.
-            runner = lambda spec: self._run_once(files, tests, entries, *spec)
+        if pool.kind is not ExecutorKind.PROCESS:
+            # Serial and thread backends share the cached build directly:
+            # the program is lowered once and every run reuses it (the AST
+            # and compiled closures are immutable at runtime, so sharing
+            # across threads is safe).
+            runner = lambda spec: self._run_once(build, tests, entries, *spec)
         else:
-            # Workers re-parse from source: ASTs stay worker-private (no
-            # shared mutable state) and the payload pickles for process
-            # pools.  Parsing is a pure function, so a re-parsed run is
-            # bit-identical to an inline one.
+            # Process workers can't share in-memory programs; they rebuild
+            # through their own process-wide cache, so the build is still
+            # paid once per worker rather than once per run.
             runner = partial(
-                _execute_package_run, self.package, tuple(entries), self.max_steps
+                _execute_package_run, self.package, tuple(entries), self.max_steps,
+                self.engine.value,
             )
         if self.stop_on_first_race:
             outcomes = pool.map_until(runner, plan, stop=lambda out: bool(out[0]))
@@ -376,10 +404,15 @@ class GoTestHarness:
             outcomes = pool.map(runner, plan)
 
         all_reports: List[RaceReport] = []
-        for run_reports, failures, output in outcomes:
+        seen_failures = set(result.test_failures)
+        for run_reports, failures, output, steps in outcomes:
             all_reports.extend(run_reports)
+            result.scheduler_steps += steps
+            # Order-preserving dedup via a seen-set (the old ``not in list``
+            # scan was quadratic over thousands of runs).
             for failure in failures:
-                if failure not in result.test_failures:
+                if failure not in seen_failures:
+                    seen_failures.add(failure)
                     result.test_failures.append(failure)
             kept, dropped = _cap_output(output, self.max_output_lines)
             result.output.extend(kept)
@@ -390,15 +423,20 @@ class GoTestHarness:
 
     def _run_once(
         self,
-        files: Sequence[ast.File],
+        build: BuiltPackage,
         tests: Sequence[ast.FuncDecl],
         entries: Sequence[str],
         seed: int,
         policy: SchedulerPolicy,
-    ) -> tuple[List[RaceReport], List[str], List[str]]:
+    ) -> tuple[List[RaceReport], List[str], List[str], int]:
         detector = RaceDetector()
         scheduler = Scheduler(seed=seed, policy=policy, max_steps=self.max_steps)
-        interp = Interpreter(files, detector=detector, scheduler=scheduler)
+        program = build.ensure_program() if self.engine is EngineKind.COMPILED else None
+        if program is not None:
+            interp: Interpreter = CompiledInterpreter(
+                program, detector=detector, scheduler=scheduler)
+        else:
+            interp = Interpreter(build.files, detector=detector, scheduler=scheduler)
         failures: List[str] = []
         roots: List[TestingT] = []
 
@@ -432,7 +470,7 @@ class GoTestHarness:
         for root in roots:
             failures.extend(root.collect_failures())
         reports = [report_from_race(r, package=self.package.name) for r in program.races]
-        return reports, failures, program.output
+        return reports, failures, program.output, program.steps
 
 
 def _cap_output(lines: List[str], limit: int) -> Tuple[List[str], int]:
@@ -447,21 +485,22 @@ def _execute_package_run(
     package: GoPackage,
     entries: Tuple[str, ...],
     max_steps: int,
+    engine: str,
     spec: Tuple[int, SchedulerPolicy],
-) -> Tuple[List[RaceReport], List[str], List[str]]:
+) -> Tuple[List[RaceReport], List[str], List[str], int]:
     """Execute one (seed, policy) run in a worker.
 
     Module-level (with picklable arguments) so it can be shipped to
-    process-pool workers; it re-parses the package from source, which keeps
-    every AST private to its run.
+    process-pool workers; the package is rebuilt through the worker's own
+    process-wide program cache, so a worker parses and lowers each package
+    once per process instead of once per run.
     """
     seed, policy = spec
-    harness = GoTestHarness(package, runs=1, max_steps=max_steps, jobs=1)
-    files, errors = harness.parse()
-    if errors:  # pragma: no cover - the dispatching harness parsed cleanly
-        return [], list(errors), []
-    tests = harness.discover_tests(files)
-    return harness._run_once(files, tests, list(entries), seed, policy)
+    harness = GoTestHarness(package, runs=1, max_steps=max_steps, jobs=1, engine=engine)
+    build = harness.build()
+    if build.errors:  # pragma: no cover - the dispatching harness parsed cleanly
+        return [], list(build.errors), [], 0
+    return harness._run_once(build, build.tests, list(entries), seed, policy)
 
 
 def run_package_tests(
@@ -474,6 +513,8 @@ def run_package_tests(
     executor: "ExecutorKind | str | None" = None,
     stop_on_first_race: bool = False,
     max_output_lines: int = 200,
+    engine: "EngineKind | str | None" = None,
+    policies: Sequence[SchedulerPolicy] = DEFAULT_POLICIES,
 ) -> PackageRunResult:
     """Convenience wrapper: build ``package`` and run its tests ``runs`` times."""
     harness = GoTestHarness(
@@ -481,9 +522,11 @@ def run_package_tests(
         runs=runs,
         seed=seed,
         max_steps=max_steps,
+        policies=policies,
         jobs=jobs,
         executor=executor,
         stop_on_first_race=stop_on_first_race,
         max_output_lines=max_output_lines,
+        engine=engine,
     )
     return harness.run(entry_functions=entry_functions)

@@ -59,30 +59,32 @@ from repro.runtime.vector_clock import SyncVar
 class Signal:
     """Base class for non-linear control flow escaping a statement."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class ReturnSignal(Signal):
     values: List[Any] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class BreakSignal(Signal):
     label: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ContinueSignal(Signal):
     label: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PackageRef:
     """A reference to an imported package (``fmt``, ``sync``, ...)."""
 
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class BoundMethod:
     """A method value whose receiver is a runtime object handled natively."""
 
@@ -133,6 +135,13 @@ class Interpreter:
         self._global_specs: List[Tuple[ast.ValueSpec, str]] = []
         self._closure_counters: Dict[str, int] = {}
         self._atomic_syncs: Dict[int, SyncVar] = {}
+        # Import names are a pure function of the (immutable) file set;
+        # resolve them once instead of rescanning every file per lookup.
+        self._imported_names = frozenset(
+            spec.name or spec.path.split("/")[-1]
+            for file in self.files
+            for spec in file.imports
+        )
         self._collect_declarations()
 
     # ------------------------------------------------------------------
@@ -214,7 +223,7 @@ class Interpreter:
         if getattr(self, "_globals_initialized", False):
             return
         self._globals_initialized = True
-        goroutine.stack.append(Frame(func_name="init", file=self.package + ".go"))
+        goroutine.push_frame(Frame(func_name="init", file=self.package + ".go"))
         try:
             for spec, file_name in self._global_specs:
                 goroutine.stack[-1].file = file_name
@@ -230,7 +239,7 @@ class Interpreter:
                     cell = self.globals.declare(var_name, value)
                     cell.name = var_name
         finally:
-            goroutine.stack.pop()
+            goroutine.pop_frame()
 
     # ------------------------------------------------------------------
     # Memory access bookkeeping
@@ -288,7 +297,7 @@ class Interpreter:
         self._bind_parameters(env, func, func_type, args)
         frame = Frame(func_name=func.display_name(), file=file_name,
                       line=body.pos.line if body is not None else 0)
-        goroutine.stack.append(frame)
+        goroutine.push_frame(frame)
         return_values: List[Any] = []
         panic: Optional[BaseException] = None
         try:
@@ -305,9 +314,10 @@ class Interpreter:
         except GoPanic as exc:
             panic = exc
         # Deferred calls run in LIFO order even when unwinding a panic.
-        for deferred_func, deferred_args in reversed(frame.deferred):
-            yield from self._invoke(goroutine, deferred_func, list(deferred_args), node)
-        goroutine.stack.pop()
+        if frame.deferred:
+            for deferred_func, deferred_args in reversed(frame.deferred):
+                yield from self._invoke(goroutine, deferred_func, list(deferred_args), node)
+        goroutine.pop_frame()
         if panic is not None:
             raise panic
         if len(return_values) == 1:
@@ -606,7 +616,7 @@ class Interpreter:
         for arg in stmt.call.args:
             value = yield from self.eval_expr(goroutine, arg, env)
             args.append(self._pass_value(value))
-        goroutine.stack[-1].deferred.append((callee, args))
+        goroutine.stack[-1].push_deferred((callee, args))
 
     def exec_send(self, goroutine: Goroutine, stmt: ast.SendStmt,
                   env: Environment) -> Generator:
@@ -925,12 +935,7 @@ class Interpreter:
         raise GoRuntimeError(f"undefined: {name}")
 
     def _is_imported(self, name: str) -> bool:
-        for file in self.files:
-            for spec in file.imports:
-                import_name = spec.name or spec.path.split("/")[-1]
-                if import_name == name:
-                    return True
-        return False
+        return name in self._imported_names
 
     def _eval_selector(self, goroutine: Goroutine, expr: ast.SelectorExpr,
                        env: Environment) -> Generator:
@@ -946,12 +951,6 @@ class Interpreter:
         return (yield from self._select_from(goroutine, base, expr))
 
     def _select_from(self, goroutine: Goroutine, base: Any, expr: ast.SelectorExpr) -> Generator:
-        sel = expr.sel
-        if isinstance(base, PackageRef):
-            member = stdlib.get_member(base.name, sel)
-            if member is not None:
-                return member
-            return TypeValue(expr=expr, name=f"{base.name}.{sel}")
         if isinstance(base, PointerValue):
             target = base.target_struct()
             if target is None and base.cell is not None:
@@ -960,6 +959,18 @@ class Interpreter:
                 base = target
             if base is None:
                 raise GoPanic("invalid memory address or nil pointer dereference")
+        result = yield from self._select_from_value(goroutine, base, expr)
+        return result
+
+    def _select_from_value(self, goroutine: Goroutine, base: Any,
+                           expr: ast.SelectorExpr) -> Generator:
+        """Select ``expr.sel`` from an already pointer-unwrapped base value."""
+        sel = expr.sel
+        if isinstance(base, PackageRef):
+            member = stdlib.get_member(base.name, sel)
+            if member is not None:
+                return member
+            return TypeValue(expr=expr, name=f"{base.name}.{sel}")
         if isinstance(base, StructValue):
             method = self.methods.get((base.type_name, sel))
             if method is not None and sel not in base.fields:

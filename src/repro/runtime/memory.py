@@ -21,7 +21,7 @@ def _next_address() -> int:
     return next(_address_counter)
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
     """A single addressable storage slot."""
 

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import enum
 import math
+import operator
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import DeadlockError, GoRuntimeError
@@ -79,6 +80,11 @@ def runs_for_detection_probability(
     return max(1, min(max_runs, needed))
 
 
+#: C-level gid key for the newest/oldest picks (same ordering, same
+#: tie-breaking as the former per-call lambdas).
+_BY_GID = operator.attrgetter("gid")
+
+
 @dataclass
 class SchedulerStats:
     steps: int = 0
@@ -102,6 +108,11 @@ class Scheduler:
         self.max_steps = max_steps
         self.random = random.Random(seed)
         self.goroutines: Dict[int, Goroutine] = {}
+        #: Live (runnable or blocked) goroutines in registration (gid) order —
+        #: maintained incrementally so the hot scheduling loop never rescans
+        #: the full goroutine table.  Same contents and order as filtering
+        #: ``goroutines.values()`` on liveness.
+        self._live: List[Goroutine] = []
         self.stats = SchedulerStats()
         self._next_gid = 1
         self._last_gid: Optional[int] = None
@@ -142,6 +153,8 @@ class Scheduler:
 
     def register(self, goroutine: Goroutine) -> None:
         self.goroutines[goroutine.gid] = goroutine
+        if goroutine.state in (GoroutineState.RUNNABLE, GoroutineState.BLOCKED):
+            self._live.append(goroutine)
 
     def live_goroutines(self) -> List[Goroutine]:
         return [g for g in self.goroutines.values() if g.is_live]
@@ -150,22 +163,11 @@ class Scheduler:
     # Main loop
     # ------------------------------------------------------------------
 
-    def _runnable(self) -> List[Goroutine]:
-        runnable = []
-        for g in self.goroutines.values():
-            if g.state is GoroutineState.RUNNABLE:
-                runnable.append(g)
-            elif g.state is GoroutineState.BLOCKED and g.block_point is not None:
-                predicate = g.block_point.predicate
-                if predicate is None or predicate():
-                    runnable.append(g)
-        return runnable
-
     def _pick(self, runnable: List[Goroutine]) -> Goroutine:
         if len(runnable) == 1:
             return runnable[0]
         if self.policy is SchedulerPolicy.ROUND_ROBIN:
-            runnable.sort(key=lambda g: g.gid)
+            runnable.sort(key=_BY_GID)
             if self._last_gid is not None:
                 for g in runnable:
                     if g.gid > self._last_gid:
@@ -175,11 +177,11 @@ class Scheduler:
             # Strong bias to the newest goroutine, with occasional random picks
             # so older goroutines still make progress.
             if self.random.random() < 0.7:
-                return max(runnable, key=lambda g: g.gid)
+                return max(runnable, key=_BY_GID)
             return self.random.choice(runnable)
         if self.policy is SchedulerPolicy.OLDEST_FIRST:
             if self.random.random() < 0.85:
-                return min(runnable, key=lambda g: g.gid)
+                return min(runnable, key=_BY_GID)
             return self.random.choice(runnable)
         if self.policy is SchedulerPolicy.PCT:
             return max(runnable, key=lambda g: (self._pct_priority(g.gid), -g.gid))
@@ -199,12 +201,82 @@ class Scheduler:
         exhausted."""
         if main.gid not in self.goroutines:
             self.register(main)
+        # The per-step bookkeeping below is the inlined equivalent of
+        # ``_runnable`` + ``_pick`` + ``_advance`` with loop-invariant
+        # lookups hoisted; scheduling decisions (and random draws) are
+        # identical to the method-by-method reference path.
+        stats = self.stats
+        live = self._live
+        max_steps = self.max_steps
+        policy = self.policy
+        is_pct = policy is SchedulerPolicy.PCT
+        is_random = policy is SchedulerPolicy.RANDOM
+        is_newest = policy is SchedulerPolicy.NEWEST_FIRST
+        is_oldest = policy is SchedulerPolicy.OLDEST_FIRST
+        rand = self.random.random
+        choice = self.random.choice
+        pick = self._pick
+        RUNNABLE = GoroutineState.RUNNABLE
+        BLOCKED = GoroutineState.BLOCKED
         while True:
-            live = self.live_goroutines()
             if not live:
                 return
-            self.stats.max_live_goroutines = max(self.stats.max_live_goroutines, len(live))
-            runnable = self._runnable()
+            if len(live) > stats.max_live_goroutines:
+                stats.max_live_goroutines = len(live)
+            if len(live) == 1 and live[0].state is RUNNABLE:
+                # Single-goroutine fast path (program prologues/epilogues):
+                # the scan and pick below would trivially select it.  The
+                # advance/PCT tail is deliberately duplicated from the
+                # general path below — a shared helper would reintroduce the
+                # per-step call overhead this loop exists to remove; keep the
+                # two copies in lockstep when changing either.
+                if stats.steps >= max_steps:
+                    raise GoRuntimeError(
+                        f"scheduler step budget exhausted after {stats.steps} steps"
+                    )
+                goroutine = live[0]
+                if goroutine.gid != self._last_gid:
+                    stats.context_switches += 1
+                self._last_gid = goroutine.gid
+                stats.steps += 1
+                goroutine.steps += 1
+                goroutine.block_point = None
+                try:
+                    point = next(goroutine.generator)
+                except StopIteration as stop:
+                    goroutine.state = GoroutineState.DONE
+                    goroutine.result = stop.value
+                    live.remove(goroutine)
+                    point = None
+                except GoRuntimeError as exc:
+                    goroutine.state = GoroutineState.FAILED
+                    goroutine.failure = exc
+                    self.failures.append(exc)
+                    live.remove(goroutine)
+                    point = None
+                if isinstance(point, SchedulePoint) and point.kind == "block":
+                    goroutine.state = BLOCKED
+                    goroutine.block_point = point
+                if is_pct:
+                    offset = stats.steps - self._pct_window_start
+                    if offset in self._pct_change_points:
+                        self._pct_low -= 1.0
+                        self._pct_priorities[goroutine.gid] = self._pct_low
+                    if offset >= self.pct_horizon:
+                        self._pct_window_start += self.pct_horizon
+                        self._pct_change_points = self._sample_change_points()
+                continue
+            runnable = []
+            for g in live:
+                state = g.state
+                if state is RUNNABLE:
+                    runnable.append(g)
+                elif state is BLOCKED:
+                    point = g.block_point
+                    if point is not None:
+                        predicate = point.predicate
+                        if predicate is None or predicate():
+                            runnable.append(g)
             if not runnable:
                 if main.state in (GoroutineState.DONE, GoroutineState.FAILED):
                     # The program's entry goroutine finished; remaining blocked
@@ -215,17 +287,62 @@ class Scheduler:
                     for g in live
                 )
                 raise DeadlockError(f"all goroutines are blocked: {reasons}")
-            if self.stats.steps >= self.max_steps:
+            if stats.steps >= max_steps:
                 raise GoRuntimeError(
-                    f"scheduler step budget exhausted after {self.stats.steps} steps"
+                    f"scheduler step budget exhausted after {stats.steps} steps"
                 )
-            goroutine = self._pick(runnable)
+            if len(runnable) == 1:
+                goroutine = runnable[0]
+            elif is_random:
+                goroutine = choice(runnable)
+            elif is_newest:
+                goroutine = max(runnable, key=_BY_GID) if rand() < 0.7 else choice(runnable)
+            elif is_oldest:
+                goroutine = min(runnable, key=_BY_GID) if rand() < 0.85 else choice(runnable)
+            elif is_pct:
+                # Inlined PCT pick: same priority-assignment draw order and
+                # the same (priority, -gid) max with first-wins ties as the
+                # reference ``_pick``.
+                priorities = self._pct_priorities
+                goroutine = None
+                best_key = None
+                for g in runnable:
+                    priority = priorities.get(g.gid)
+                    if priority is None:
+                        priority = 1.0 + rand()
+                        priorities[g.gid] = priority
+                    key = (priority, -g.gid)
+                    if best_key is None or key > best_key:
+                        goroutine = g
+                        best_key = key
+            else:
+                goroutine = pick(runnable)
             if goroutine.gid != self._last_gid:
-                self.stats.context_switches += 1
+                stats.context_switches += 1
             self._last_gid = goroutine.gid
-            self._advance(goroutine)
-            if self.policy is SchedulerPolicy.PCT:
-                offset = self.stats.steps - self._pct_window_start
+            # -- inlined ``_advance`` -------------------------------------------------
+            stats.steps += 1
+            goroutine.steps += 1
+            goroutine.state = RUNNABLE
+            goroutine.block_point = None
+            try:
+                point = next(goroutine.generator)
+            except StopIteration as stop:
+                goroutine.state = GoroutineState.DONE
+                goroutine.result = stop.value
+                live.remove(goroutine)
+                point = None
+            except GoRuntimeError as exc:
+                goroutine.state = GoroutineState.FAILED
+                goroutine.failure = exc
+                self.failures.append(exc)
+                live.remove(goroutine)
+                point = None
+            if isinstance(point, SchedulePoint) and point.kind == "block":
+                goroutine.state = BLOCKED
+                goroutine.block_point = point
+            if is_pct:
+                offset = stats.steps - self._pct_window_start
                 if offset in self._pct_change_points:
                     # Change point: drop the running goroutine below every
                     # priority handed out so far, forcing a preemption here.
@@ -235,23 +352,3 @@ class Scheduler:
                     self._pct_window_start += self.pct_horizon
                     self._pct_change_points = self._sample_change_points()
 
-    def _advance(self, goroutine: Goroutine) -> None:
-        self.stats.steps += 1
-        goroutine.steps += 1
-        goroutine.state = GoroutineState.RUNNABLE
-        goroutine.block_point = None
-        assert goroutine.generator is not None
-        try:
-            point = next(goroutine.generator)
-        except StopIteration as stop:
-            goroutine.state = GoroutineState.DONE
-            goroutine.result = stop.value
-            return
-        except GoRuntimeError as exc:
-            goroutine.state = GoroutineState.FAILED
-            goroutine.failure = exc
-            self.failures.append(exc)
-            return
-        if isinstance(point, SchedulePoint) and point.kind == "block":
-            goroutine.state = GoroutineState.BLOCKED
-            goroutine.block_point = point

@@ -27,8 +27,10 @@ from repro.runtime.memory import Cell, Environment
 class GoValue:
     """Marker base class for non-primitive runtime values."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class ErrorValue(GoValue):
     """A Go ``error`` value."""
 
@@ -38,7 +40,7 @@ class ErrorValue(GoValue):
         return self.message
 
 
-@dataclass
+@dataclass(slots=True)
 class StructValue(GoValue):
     """An instance of a struct type; each field is an addressable cell."""
 
@@ -61,7 +63,7 @@ class StructValue(GoValue):
         return clone
 
 
-@dataclass
+@dataclass(slots=True)
 class PointerValue(GoValue):
     """A pointer to a cell (``&x``, ``&s.f``) or directly to a struct value."""
 
@@ -78,7 +80,7 @@ class PointerValue(GoValue):
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class SliceValue(GoValue):
     """A slice sharing a backing list; ``header`` models the len/cap/data word."""
 
@@ -94,7 +96,7 @@ class SliceValue(GoValue):
         return len(self.elements)
 
 
-@dataclass
+@dataclass(slots=True)
 class MapValue(GoValue):
     """A Go built-in map — not safe for concurrent use."""
 
@@ -110,7 +112,7 @@ class MapValue(GoValue):
         return len(self.entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelValue(GoValue):
     """Declared channel value; runtime behaviour lives in ``channels.py``."""
 
@@ -128,7 +130,7 @@ class ChannelValue(GoValue):
             self.capacity = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class FuncValue(GoValue):
     """A callable: a named function, a method bound to a receiver, or a closure."""
 
@@ -161,7 +163,7 @@ class FuncValue(GoValue):
         return "func literal"
 
 
-@dataclass
+@dataclass(slots=True)
 class BuiltinFunc(GoValue):
     """A builtin or stdlib-shim function implemented in Python.
 
@@ -173,7 +175,7 @@ class BuiltinFunc(GoValue):
     handler: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class TypeValue(GoValue):
     """A type used as a value (conversion target, ``make`` argument, composite literal)."""
 
@@ -181,7 +183,7 @@ class TypeValue(GoValue):
     name: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class TupleValue(GoValue):
     """Multiple return values in flight."""
 

@@ -1,0 +1,233 @@
+"""Corpus-wide differential test: compiled engine ≡ tree-walk, bit for bit.
+
+The compile-once engine (``repro.runtime.compiler``) must be observationally
+indistinguishable from the reference tree-walking interpreter: same rendered
+race reports (including cell addresses), same test failures, same program
+output, same build errors — for every corpus template, across seeds, across
+every scheduler policy.  Any divergence is a bug in the lowering pass; CI
+fails on it.
+
+Cell addresses come from a process-global counter, so each engine's sweep
+starts from a reset counter — identical allocation *order* (which the
+compiler guarantees) then yields identical addresses.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.execution import EngineKind, resolve_engine
+from repro.runtime import memory
+from repro.runtime.compiler import PROGRAM_CACHE, package_fingerprint
+from repro.runtime.harness import GoFile, GoPackage, run_package_tests
+from repro.runtime.scheduler import SchedulerPolicy
+
+ALL_POLICIES = tuple(SchedulerPolicy)
+SEEDS = (0, 11)
+
+
+def _reset_addresses() -> None:
+    memory._address_counter = itertools.count(0xC000000000, 0x10)
+
+
+def _outcome(package, seed, engine, policies=ALL_POLICIES, runs=5):
+    result = run_package_tests(
+        package, runs=runs, seed=seed, engine=engine, policies=policies
+    )
+    return {
+        "reports": [report.render() for report in result.reports],
+        "failures": result.test_failures,
+        "output": result.output,
+        "build_errors": result.build_errors,
+        "runs": result.runs,
+        "tests": result.tests_discovered,
+    }
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CorpusGenerator(CorpusConfig()).generate()
+
+
+class TestCompiledEngineDifferential:
+    def test_full_corpus_bit_identical_across_policies_and_seeds(self, dataset):
+        """Every template × seed × all five scheduler policies: identical."""
+        cases = dataset.evaluation + dataset.db_examples
+        sweeps = {}
+        for engine in ("tree", "compiled"):
+            _reset_addresses()
+            sweeps[engine] = [
+                (case.case_id, seed, _outcome(case.package, seed, engine))
+                for case in cases
+                for seed in SEEDS
+            ]
+        for tree_row, compiled_row in zip(sweeps["tree"], sweeps["compiled"]):
+            assert tree_row == compiled_row, (
+                f"engine divergence on case={tree_row[0]} seed={tree_row[1]}"
+            )
+
+    def test_entry_functions_and_build_errors_identical(self, dataset):
+        broken = GoPackage(
+            name="broken",
+            files=[GoFile("lib.go", "package broken\nfunc Broken( {\n")],
+        )
+        entry_pkg = GoPackage(
+            name="entry",
+            files=[GoFile("main.go", """package entry
+
+var total = 0
+
+func Bump() {
+\tfor i := 0; i < 3; i++ {
+\t\ttotal += i
+\t}
+\tprintln(total)
+}
+""")],
+        )
+        outcomes = {}
+        for engine in ("tree", "compiled"):
+            _reset_addresses()
+            broken_result = run_package_tests(broken, runs=2, engine=engine)
+            entry_result = run_package_tests(
+                entry_pkg, runs=3, engine=engine, entry_functions=["Bump"]
+            )
+            outcomes[engine] = (
+                broken_result.build_errors,
+                entry_result.output,
+                entry_result.test_failures,
+            )
+        assert outcomes["tree"] == outcomes["compiled"]
+        assert outcomes["tree"][0]  # the broken package really failed to build
+
+
+class TestMultiAssignPadding:
+    def test_overlong_comma_ok_targets_pad_identically(self):
+        """``v, ok, extra := m[k]`` declares extra as nil on BOTH engines.
+
+        Comma-ok forms return exactly two values however many targets there
+        are; the reference pads with ``None`` unconditionally, and the
+        compiled engine must too (regression: the spread branch once skipped
+        the padding, leaving the third target undeclared)."""
+        package = GoPackage(
+            name="pad",
+            files=[GoFile("pad_test.go", """package pad
+
+import "testing"
+
+func TestPad(t *testing.T) {
+\tm := map[string]int{"a": 1}
+\tv, ok, extra := m["a"]
+\tprintln(v, ok, extra)
+}
+""")],
+        )
+        outcomes = {}
+        for engine in ("tree", "compiled"):
+            _reset_addresses()
+            result = run_package_tests(package, runs=2, engine=engine)
+            outcomes[engine] = (result.output, result.test_failures, result.build_errors)
+        assert outcomes["tree"] == outcomes["compiled"]
+        assert not outcomes["tree"][1]  # no failures: extra padded to nil
+
+
+class TestEngineSelection:
+    def test_resolve_engine_defaults_to_compiled(self, monkeypatch):
+        monkeypatch.delenv("DRFIX_ENGINE", raising=False)
+        assert resolve_engine() is EngineKind.COMPILED
+        assert resolve_engine("tree") is EngineKind.TREE
+        assert resolve_engine(EngineKind.TREE) is EngineKind.TREE
+
+    def test_resolve_engine_env_var(self, monkeypatch):
+        monkeypatch.setenv("DRFIX_ENGINE", "tree")
+        assert resolve_engine() is EngineKind.TREE
+
+    def test_resolve_engine_rejects_unknown(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            resolve_engine("jit")
+
+    def test_config_engine_validation(self):
+        from repro.core.config import DrFixConfig
+        from repro.errors import ConfigError
+
+        assert DrFixConfig(engine="tree").validated().engine == "tree"
+        with pytest.raises(ConfigError):
+            DrFixConfig(engine="warp").validated()
+
+
+class TestProgramCache:
+    def test_same_source_hits_cache(self):
+        package = GoPackage(
+            name="cached", files=[GoFile("a.go", "package cached\nfunc A() int { return 1 }\n")]
+        )
+        first = PROGRAM_CACHE.get_or_build(package)
+        second = PROGRAM_CACHE.get_or_build(
+            GoPackage(name="cached", files=[GoFile("a.go", package.files[0].source)])
+        )
+        assert first is second
+        # Lowering is lazy: only a compiled-engine request builds the program.
+        assert first.program is None
+        program = first.ensure_program()
+        assert program is not None and program.code
+        assert first.ensure_program() is program
+
+    def test_fingerprint_tracks_content_and_names(self):
+        base = GoPackage(name="p", files=[GoFile("a.go", "package p\n")])
+        same = GoPackage(name="p", files=[GoFile("a.go", "package p\n")])
+        renamed = GoPackage(name="p", files=[GoFile("b.go", "package p\n")])
+        edited = GoPackage(name="p", files=[GoFile("a.go", "package p\nvar x = 1\n")])
+        assert package_fingerprint(base) == package_fingerprint(same)
+        assert package_fingerprint(base) != package_fingerprint(renamed)
+        assert package_fingerprint(base) != package_fingerprint(edited)
+
+    def test_parse_errors_cached_as_build_failures(self):
+        package = GoPackage(
+            name="syntax", files=[GoFile("bad.go", "package syntax\nfunc ( {\n")]
+        )
+        build = PROGRAM_CACHE.get_or_build(package)
+        assert build.errors and build.program is None
+        again = PROGRAM_CACHE.get_or_build(package)
+        assert again is build
+
+    def test_stdlib_registration_invalidates_cached_builds(self):
+        """Late ``register_package`` shims must not serve stale lowerings.
+
+        Compiled closures freeze stdlib package/member lookups at lowering
+        time, so a build made before a registration would diverge from the
+        tree-walk; the cache tags builds with the stdlib generation and
+        rebuilds instead."""
+        from repro.runtime import stdlib
+        from repro.runtime.compiler import ProgramCache
+
+        cache = ProgramCache(capacity=4)
+        package = GoPackage(
+            name="shimmed",
+            files=[GoFile("a.go", "package shimmed\nfunc A() int { return 1 }\n")],
+        )
+        before = cache.get_or_build(package)
+        assert cache.get_or_build(package) is before
+        stdlib.register_package("shimpkg", {"Answer": 42})
+        after = cache.get_or_build(package)
+        assert after is not before
+        assert after.stdlib_generation == stdlib.generation()
+        assert cache.get_or_build(package) is after
+
+    def test_capacity_evicts_least_recently_used(self):
+        from repro.runtime.compiler import ProgramCache
+
+        cache = ProgramCache(capacity=2)
+        packages = [
+            GoPackage(name=f"p{i}", files=[GoFile("a.go", f"package p{i}\n")])
+            for i in range(3)
+        ]
+        builds = [cache.get_or_build(p) for p in packages]
+        assert len(cache) == 2
+        # p0 was evicted; rebuilding it yields a fresh entry.
+        rebuilt = cache.get_or_build(packages[0])
+        assert rebuilt is not builds[0]
+        assert rebuilt.fingerprint == builds[0].fingerprint

@@ -168,3 +168,109 @@ class TestRaceDetector:
         detector.on_write(2, cell, record(2))
         detector.reset()
         assert not detector.has_races()
+
+
+class TestFastTrackStateMachine:
+    """FastTrack fast paths: adaptive read state and in-place epoch updates."""
+
+    def _state(self, detector: RaceDetector, cell: Cell):
+        return detector._locations[cell.address]
+
+    def test_single_reader_keeps_inline_read_epoch(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        detector.on_read(1, cell, record(1, write=False))
+        state = self._state(detector, cell)
+        assert state.read_tid == 1
+        assert state.read_clocks is None and state.read_records is None
+
+    def test_same_epoch_read_updates_in_place_and_refreshes_record(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        first = record(1, write=False)
+        second = record(1, write=False)
+        detector.on_read(1, cell, first)
+        detector.on_read(1, cell, second)
+        state = self._state(detector, cell)
+        # Still read-exclusive: no promotion, and the report record tracks the
+        # most recent read (the bit-identity deviation from textbook
+        # FastTrack, which would skip the update entirely).
+        assert state.read_tid == 1
+        assert state.read_record is second
+        assert state.read_clocks is None
+
+    def test_concurrent_readers_promote_to_shared_maps(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.on_fork(1, 2)
+        detector.on_read(1, cell, record(1, write=False))
+        detector.on_read(2, cell, record(2, write=False))
+        state = self._state(detector, cell)
+        assert state.read_tid == -2  # shared mode
+        assert list(state.read_records) == [1, 2]  # promotion preserves order
+        assert state.read_clocks is not None and len(state.read_clocks) == 2
+
+    def test_write_demotes_read_state_and_stores_epoch_inline(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.on_fork(1, 2)
+        detector.on_read(1, cell, record(1, write=False))
+        detector.on_read(2, cell, record(2, write=False))
+        write = record(1)
+        detector.on_write(1, cell, write)
+        state = self._state(detector, cell)
+        assert state.read_tid == -1 and state.read_records is None
+        assert state.write_tid == 1
+        assert state.write_clock == detector.clock_of(1).get(1)
+        assert state.write_record is write
+
+    def test_same_epoch_write_only_refreshes_record(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        first = record(1)
+        second = record(1)
+        detector.on_write(1, cell, first)
+        clock_before = self._state(detector, cell).write_clock
+        detector.on_write(1, cell, second)
+        state = self._state(detector, cell)
+        assert state.write_clock == clock_before
+        assert state.write_record is second
+        assert not detector.has_races()
+
+    def test_write_write_race_reported_from_epochs(self):
+        detector = RaceDetector()
+        cell = Cell(name="x")
+        detector.register_goroutine(1)
+        detector.register_goroutine(2)
+        detector.on_write(1, cell, record(1))
+        detector.on_write(2, cell, record(2))
+        assert detector.has_races()
+
+    def test_shared_read_then_unordered_write_reports_each_reader(self):
+        detector = RaceDetector()
+        cell = Cell(name="y")
+        detector.on_fork(1, 2)
+        detector.on_fork(1, 3)
+        reader2 = AccessRecord(goroutine_id=2, is_write=False,
+                               stack=(("R2", "f.go", 2),), variable="y", address=2)
+        reader3 = AccessRecord(goroutine_id=3, is_write=False,
+                               stack=(("R3", "f.go", 3),), variable="y", address=2)
+        detector.on_read(2, cell, reader2)
+        detector.on_read(3, cell, reader3)
+        writer = AccessRecord(goroutine_id=1, is_write=True,
+                              stack=(("W", "f.go", 9),), variable="y", address=2)
+        detector.on_write(1, cell, writer)
+        assert len(detector.races) == 2
+        assert [race.previous.goroutine_id for race in detector.races] == [2, 3]
+
+    def test_fork_ordered_reads_do_not_race_with_parent_write(self):
+        detector = RaceDetector()
+        cell = Cell(name="z")
+        detector.register_goroutine(1)
+        detector.on_write(1, cell, record(1))
+        detector.on_fork(1, 2)
+        detector.on_read(2, cell, record(2, write=False))
+        assert not detector.has_races()
