@@ -15,7 +15,7 @@ Run with::
 from __future__ import annotations
 
 from repro.core import DrFix, DrFixConfig, ExampleDatabase
-from repro.core.categories import RaceCategory
+from repro.diagnosis.categories import RaceCategory
 from repro.corpus.generator import generate_cases
 
 

@@ -3,6 +3,8 @@
 Top-level layout:
 
 * :mod:`repro.core`       — the Dr.Fix pipeline (the paper's contribution);
+* :mod:`repro.diagnosis`  — race categorization (report → :class:`Diagnosis`)
+  and the pluggable fix-pattern registry;
 * :mod:`repro.golang`     — Go-subset front end (lexer/parser/AST/printer/analysis);
 * :mod:`repro.runtime`    — interpreter + scheduler + happens-before race detector
   (the ``go test -race`` substitute);
@@ -25,7 +27,7 @@ Quick start::
     print(outcome.fixed, outcome.strategy)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core.config import DrFixConfig, FixLocation, FixScope
 from repro.core.database import ExampleDatabase

@@ -40,6 +40,7 @@ from repro.errors import ConfigError
 from repro.core.database import ExampleDatabase
 from repro.core.pipeline import DrFix
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.diagnosis import RaceDiagnoser, all_patterns, category_from_value
 from repro.evaluation.executor import JOBS_ENV_VAR, resolve_jobs
 from repro.evaluation.experiments import all_experiment_tables
 from repro.evaluation.reporting import render_report
@@ -96,11 +97,35 @@ def cmd_detect(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     print(result.summary())
+    diagnoser = RaceDiagnoser(package)
     for report in result.reports:
         print()
         print(report.render())
         print(f"stable bug hash: {report.bug_hash()}")
+        print(f"diagnosis: {diagnoser.diagnose(report).summary()}")
     return 0 if result.passed else 1
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    """Introspect the fix-pattern registry (detection order)."""
+    category = None
+    if args.category:
+        category = category_from_value(args.category)
+        if category is None:
+            print(f"drfix: error: unknown category {args.category!r}", file=sys.stderr)
+            return 2
+    patterns = all_patterns()
+    if category is not None:
+        patterns = [p for p in patterns if category in p.categories]
+    name_width = max((len(p.name) for p in patterns), default=4)
+    print(f"{'pattern':<{name_width}}  spec  categories")
+    for pattern in patterns:
+        categories = ", ".join(c.value for c in pattern.categories) or "-"
+        print(f"{pattern.name:<{name_width}}  {pattern.specificity:>4}  {categories}")
+        if args.verbose:
+            print(f"{'':<{name_width}}        {pattern.description}")
+    print(f"{len(patterns)} pattern(s) registered")
+    return 0
 
 
 def cmd_fix(args: argparse.Namespace) -> int:
@@ -260,6 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
     fix.add_argument("--engine", choices=["compiled", "tree"], default=None,
                      help="interpreter engine for detection and validation runs")
     fix.set_defaults(func=cmd_fix)
+
+    patterns = sub.add_parser(
+        "patterns", help="list the registered fix patterns (detection order)"
+    )
+    patterns.add_argument("--category", help="only patterns addressing this race category "
+                                             "(e.g. missing-synchronization)")
+    patterns.add_argument("--verbose", "-v", action="store_true",
+                          help="include each pattern's description")
+    patterns.set_defaults(func=cmd_patterns)
 
     evaluate = sub.add_parser("evaluate", help="regenerate every table and figure of the paper")
     evaluate.add_argument("--scale", type=float, default=0.25)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.config import DrFixConfig
 from repro.core.database import ExampleDatabase, ExampleEntry
@@ -11,6 +11,9 @@ from repro.core.prompts import build_messages
 from repro.core.race_info import CodeItem
 from repro.llm.base import LLMClient, ModelResponse
 from repro.llm.simulated import make_client
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.diagnosis import Diagnosis
 
 
 @dataclass
@@ -54,9 +57,11 @@ class FixGenerator:
         """
         examples: List[Optional[ExampleEntry]] = []
         if self.config.use_rag and self.database is not None and len(self.database) > 0:
-            self.retrievals += 1
             entry = self.database.best_example(item)
             if entry is not None:
+                # Count only successful retrievals: an empty query result is
+                # not a retrieval the evaluation reports should bill for.
+                self.retrievals += 1
                 examples.append(entry)
         if self.config.include_empty_example or not examples:
             examples.append(None)
@@ -68,10 +73,11 @@ class FixGenerator:
         example: Optional[ExampleEntry],
         feedback: str = "",
         attempt_salt: str = "",
+        diagnosis: "Optional[Diagnosis]" = None,
     ) -> GeneratedFix:
         """Run one model completion for ``item`` with the given example/feedback."""
         pair: Optional[Tuple[str, str]] = example.as_pair() if example is not None else None
-        messages = build_messages(item, example=pair, feedback=feedback)
+        messages = build_messages(item, example=pair, feedback=feedback, diagnosis=diagnosis)
         client = self._client_for_attempt(attempt_salt)
         self.model_calls += 1
         response = client.complete(messages)

@@ -104,7 +104,9 @@ class Patcher:
             parse_file(new_code, item.file_name)
         except GoSyntaxError as exc:
             raise PatchError(f"build failed: {exc}") from exc
-        package = self.package.replace_file(item.file_name, _normalize(new_code))
+        # with_file (not replace_file): a file-scope response may introduce a
+        # brand-new file, which replace_file would silently drop.
+        package = self.package.with_file(item.file_name, _normalize(new_code))
         return Patch(package=package, changed_files=[item.file_name])
 
     def _apply_function(self, item: CodeItem, new_code: str) -> Patch:

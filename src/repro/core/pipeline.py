@@ -29,6 +29,7 @@ from repro.core.fix_generator import FixGenerator, GeneratedFix
 from repro.core.patcher import Patch, Patcher
 from repro.core.race_info import CodeItem, RaceInfo, RaceInfoExtractor
 from repro.core.validator import FixValidator, ValidationResult
+from repro.diagnosis import Diagnosis, RaceDiagnoser
 from repro.errors import PatchError
 from repro.execution import CaseExecutor, ExecutorKind
 
@@ -63,6 +64,9 @@ class FixOutcome:
     bug_hash: str
     fixed: bool = False
     patch: Optional[Patch] = None
+    #: The diagnosis layer's interpretation of the report (None when the
+    #: outcome was rehydrated from a run store without diagnosis data).
+    diagnosis: Optional[Diagnosis] = None
     strategy: str = ""
     location: str = ""
     scope: str = ""
@@ -102,6 +106,7 @@ class DrFix:
             self.config = self.config.with_engine(engine).validated()
         self.database = database
         self.extractor = RaceInfoExtractor(package, self.config)
+        self.diagnoser = RaceDiagnoser(package)
         self.generator = FixGenerator(self.config, database=database, client=client)
         self.validator = FixValidator(self.config)
         self.patcher = Patcher(package, self.config)
@@ -119,7 +124,8 @@ class DrFix:
         """Produce (or fail to produce) a validated patch for one race report."""
         start = time.time()
         info = self.extractor.extract(report)
-        outcome = FixOutcome(bug_hash=info.bug_hash)
+        diagnosis = self.diagnoser.diagnose(report)
+        outcome = FixOutcome(bug_hash=info.bug_hash, diagnosis=diagnosis)
         self._baseline_hashes = list(baseline_hashes or [])
         failure_log: List[str] = []
 
@@ -144,7 +150,17 @@ class DrFix:
                 return outcome
 
         if self.config.final_feedback_retry and failure_log:
-            feedback = " | ".join(dict.fromkeys(failure_log[-4:]))
+            # The retry prompt carries the diagnosis's candidate repair
+            # patterns alongside the accumulated validation failures, so the
+            # model re-anchors on the category's known fixes.
+            hints = ", ".join(diagnosis.candidate_patterns[:4])
+            failure_text = " | ".join(dict.fromkeys(failure_log[-4:]))
+            feedback = failure_text
+            if hints:
+                feedback = (
+                    f"{failure_text} | diagnosed as {diagnosis.category.value}; "
+                    f"consider the {hints} repair patterns"
+                )
             retry_items = [i for i in items if i.scope is FixScope.FILE] or items
             for item in retry_items:
                 examples = self.generator.candidate_examples(item)
@@ -244,7 +260,8 @@ class DrFix:
         prepared: List[Tuple[FixAttempt, GeneratedFix, Optional[Patch]]] = []
         for offset, example in enumerate(examples):
             prepared.append(self._prepare_candidate(
-                item, example, feedback, salt=f"{salt_prefix}{start_index + offset + 1}"
+                item, example, feedback, salt=f"{salt_prefix}{start_index + offset + 1}",
+                diagnosis=outcome.diagnosis,
             ))
         for attempt, _, _ in prepared:
             outcome.attempts.append(attempt)
@@ -285,7 +302,9 @@ class DrFix:
     def _attempt(self, outcome: FixOutcome, info: RaceInfo, item: CodeItem,
                  example, feedback: str, salt: str) -> bool:
         """One serial attempt: generate, patch, validate, record."""
-        attempt, generated, patch = self._prepare_candidate(item, example, feedback, salt)
+        attempt, generated, patch = self._prepare_candidate(
+            item, example, feedback, salt, diagnosis=outcome.diagnosis
+        )
         outcome.attempts.append(attempt)
         if patch is None:
             return False
@@ -300,7 +319,8 @@ class DrFix:
         return True
 
     def _prepare_candidate(
-        self, item: CodeItem, example, feedback: str, salt: str
+        self, item: CodeItem, example, feedback: str, salt: str,
+        diagnosis: Optional[Diagnosis] = None,
     ) -> Tuple[FixAttempt, GeneratedFix, Optional[Patch]]:
         """Generate and patch one candidate (everything before validation)."""
         attempt = FixAttempt(
@@ -311,7 +331,7 @@ class DrFix:
             used_feedback=bool(feedback),
         )
         generated: GeneratedFix = self.generator.generate(
-            item, example, feedback=feedback, attempt_salt=salt
+            item, example, feedback=feedback, attempt_salt=salt, diagnosis=diagnosis,
         )
         attempt.strategy = generated.response.strategy
         if generated.is_noop:

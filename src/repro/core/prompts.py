@@ -10,10 +10,13 @@ real API-backed model could be dropped in unchanged.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.race_info import CodeItem
 from repro.llm.base import ChatMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.diagnosis import Diagnosis
 
 SYSTEM_PROMPT = (
     "You are an expert in parallel computing and helping user fix data race in the "
@@ -32,6 +35,7 @@ def build_user_prompt(
     item: CodeItem,
     example: Optional[Tuple[str, str]] = None,
     feedback: str = "",
+    diagnosis: "Optional[Diagnosis]" = None,
 ) -> str:
     """Build the user prompt for one code item."""
     scope_word = "file" if item.scope.value == "file" else "function"
@@ -53,6 +57,11 @@ def build_user_prompt(
             + "\n```"
         )
     description = _race_description(item)
+    if diagnosis is not None:
+        description += (
+            f"\nRace diagnosis: category={diagnosis.category.value} "
+            f"({diagnosis.access_pattern} conflict)."
+        )
     parts.append(description)
     if feedback:
         parts.append("Previous attempt feedback:\n```\n" + feedback.strip() + "\n```")
@@ -82,9 +91,13 @@ def build_messages(
     item: CodeItem,
     example: Optional[Tuple[str, str]] = None,
     feedback: str = "",
+    diagnosis: "Optional[Diagnosis]" = None,
 ) -> List[ChatMessage]:
     """The (system, user) chat messages for one fix attempt."""
     return [
         ChatMessage(role="system", content=SYSTEM_PROMPT),
-        ChatMessage(role="user", content=build_user_prompt(item, example, feedback)),
+        ChatMessage(
+            role="user",
+            content=build_user_prompt(item, example, feedback, diagnosis=diagnosis),
+        ),
     ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import DrFixConfig, FixLocation, FixScope
+from repro.diagnosis import clean_variable_name
 from repro.errors import GoSyntaxError
 from repro.golang import ast_nodes as ast
 from repro.golang.parser import parse_file
@@ -238,19 +239,3 @@ def resolve_function(parsed: ast.File, qualified: str) -> Optional[ast.FuncDecl]
         if parts and decl.name == parts[-1]:
             return decl
     return None
-
-
-def clean_variable_name(raw: str) -> str:
-    """Normalize a report's variable description to a program identifier."""
-    if not raw:
-        return ""
-    name = raw
-    for suffix in ("(map)", "(slice header)"):
-        name = name.replace(suffix, "")
-    name = name.split("(")[0]
-    if "." in name:
-        name = name.split(".")[-1]
-    name = name.strip()
-    if name.startswith("map["):
-        return ""
-    return name

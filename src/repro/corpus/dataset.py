@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.categories import CategoryDistribution, RaceCategory
+from repro.diagnosis.categories import CategoryDistribution, RaceCategory
 from repro.corpus.ground_truth import RaceCase
 
 

@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.categories import (
+from repro.diagnosis.categories import (
     PAPER_FIX_FREQUENCIES,
     PAPER_VECTORDB_FREQUENCIES,
     RaceCategory,

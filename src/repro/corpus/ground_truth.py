@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.categories import RaceCategory, UnfixedReason
+from repro.diagnosis.categories import RaceCategory, UnfixedReason
 from repro.runtime.harness import GoPackage, PackageRunResult, run_package_tests
 from repro.runtime.race_report import RaceReport
 

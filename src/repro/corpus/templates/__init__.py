@@ -2,7 +2,7 @@
 
 Each template is a callable ``(seed, noise_level) -> RaceCase`` registered in
 :data:`TEMPLATE_REGISTRY`.  The registry groups templates by
-:class:`~repro.core.categories.RaceCategory` so the generator can draw cases
+:class:`~repro.diagnosis.categories.RaceCategory` so the generator can draw cases
 in the Table 3 category mix, and by "fixable vs unfixable" so the evaluation
 set reproduces Table 5.
 """
@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.core.categories import RaceCategory
+from repro.diagnosis.categories import RaceCategory
 from repro.corpus.ground_truth import RaceCase
 
 TemplateFn = Callable[[int, int], RaceCase]
 
 from repro.corpus.templates import (  # noqa: E402  (import order is the registry order)
+    advanced_sync,
     capture_by_ref,
     concurrent_map,
     concurrent_slice,
@@ -39,6 +40,9 @@ TEMPLATE_REGISTRY: Dict[RaceCategory, List[TemplateFn]] = {
         missing_sync.make_waitgroup_add_case,
         missing_sync.make_counter_case,
         missing_sync.make_partial_locking_case,
+        advanced_sync.make_atomic_counter_case,
+        advanced_sync.make_rwmutex_read_case,
+        advanced_sync.make_once_init_case,
     ],
     RaceCategory.PARALLEL_TEST_SUITE: [
         parallel_test.make_shared_hash_case,

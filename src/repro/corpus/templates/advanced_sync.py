@@ -1,0 +1,283 @@
+"""Templates for the three registry-extension repair scenarios.
+
+These ride the "Missing/incorrect synchronization" category and exist to
+prove the fix-pattern registry's extensibility end to end: each template's
+ground truth demonstrates one of the new patterns, so detection, example
+retrieval, guided fixing, and the per-category evaluation all exercise them.
+
+* ``make_atomic_counter_case``  — an unguarded counter field; the fix rewrites
+  the accesses to ``sync/atomic`` Add/Load operations;
+* ``make_rwmutex_read_case``    — a type already owning a ``sync.RWMutex``
+  whose read path skips the lock; the fix takes ``RLock``/``RUnlock``;
+* ``make_once_init_case``       — a package-level value lazily initialized
+  behind a bare nil check; the fix guards it with ``sync.Once``.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+from repro.diagnosis.categories import RaceCategory
+
+
+def make_atomic_counter_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    meter = vocab.type_name() + "Meter"
+    observe = "observe" + vocab.field_name()
+    total = "Total" + vocab.field_name()
+    run = "Sample" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {meter} struct {{
+	hits  int64
+	batch int
+}}
+
+func (m *{meter}) {observe}(n int) {{
+	m.hits = m.hits + n
+}}
+
+func (m *{meter}) {total}() int64 {{
+	return m.hits
+}}
+
+func {run}(rounds int) int64 {{
+	meter := &{meter}{{batch: rounds}}
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			meter.{observe}(1)
+		}}()
+	}}
+	wg.Wait()
+	return meter.{total}()
+}}
+"""
+    fixed_body = body.replace(
+        f"""func (m *{meter}) {observe}(n int) {{
+	m.hits = m.hits + n
+}}
+
+func (m *{meter}) {total}() int64 {{
+	return m.hits
+}}""",
+        f"""func (m *{meter}) {observe}(n int) {{
+	atomic.AddInt64(&m.hits, n)
+}}
+
+func (m *{meter}) {total}() int64 {{
+	return atomic.LoadInt64(&m.hits)
+}}""",
+    )
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if total := {run}(4); total < 0 {{
+		t.Errorf("negative total %d", total)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync", "sync/atomic"], fixed_body, vocab, noise_funcs,
+                          noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_meter.go"
+    test_name = f"{vocab.noun()}_meter_test.go"
+    return build_case(
+        case_id=f"sync-atomic-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=observe,
+        racy_variable="hits",
+        fix_strategy="atomic_counter",
+        difficulty=Difficulty.COMPLEX,
+        description="an unguarded counter field bumped by worker goroutines; the fix rewrites it to sync/atomic",
+        requires_file_scope=True,
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_rwmutex_read_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    catalog = vocab.type_name() + "Catalog"
+    bump = "advance" + vocab.field_name()
+    inspect = "Current" + vocab.field_name()
+    run = "Track" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {catalog} struct {{
+	mu      sync.RWMutex
+	version int
+	region  string
+}}
+
+func (c *{catalog}) {bump}(n int) {{
+	c.mu.Lock()
+	c.version = c.version + n
+	c.mu.Unlock()
+}}
+
+func (c *{catalog}) {inspect}() int {{
+	return c.version
+}}
+
+func {run}(rounds int) int {{
+	catalog := &{catalog}{{region: "west"}}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {{
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {{
+			catalog.{bump}(1)
+		}}
+	}}()
+	go func() {{
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {{
+			if catalog.{inspect}() < 0 {{
+				return
+			}}
+		}}
+	}}()
+	wg.Wait()
+	return catalog.{inspect}()
+}}
+"""
+    fixed_body = body.replace(
+        f"""func (c *{catalog}) {inspect}() int {{
+	return c.version
+}}""",
+        f"""func (c *{catalog}) {inspect}() int {{
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}}""",
+    )
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if version := {run}(3); version < 0 {{
+		t.Errorf("negative version %d", version)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_catalog.go"
+    test_name = f"{vocab.noun()}_catalog_test.go"
+    return build_case(
+        case_id=f"sync-rwread-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=inspect,
+        racy_variable="version",
+        fix_strategy="rwmutex_read_lock",
+        difficulty=Difficulty.COMPLEX,
+        description="a field written under the RWMutex but read bare on the hot path; the fix takes the read lock",
+        requires_file_scope=True,
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_once_init_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    registry = vocab.entity_type() + "Registry"
+    shared = "shared" + vocab.field_name()
+    lookup = "lookup" + vocab.field_name()
+    run = "Resolve" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {registry} struct {{
+	region string
+	quota  int
+}}
+
+var {shared} *{registry}
+
+func {lookup}() *{registry} {{
+	if {shared} == nil {{
+		{shared} = &{registry}{{region: "west", quota: 8}}
+	}}
+	return {shared}
+}}
+
+func {run}(workers int) int {{
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			entry := {lookup}()
+			if entry.quota < 0 {{
+				return
+			}}
+		}}()
+	}}
+	wg.Wait()
+	final := {lookup}()
+	return final.quota
+}}
+"""
+    fixed_body = body.replace(
+        f"""var {shared} *{registry}
+
+func {lookup}() *{registry} {{
+	if {shared} == nil {{
+		{shared} = &{registry}{{region: "west", quota: 8}}
+	}}
+	return {shared}
+}}""",
+        f"""var {shared} *{registry}
+
+var {shared}Once sync.Once
+
+func {lookup}() *{registry} {{
+	{shared}Once.Do(func() {{
+		{shared} = &{registry}{{region: "west", quota: 8}}
+	}})
+	return {shared}
+}}""",
+    )
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if quota := {run}(4); quota != 8 {{
+		t.Errorf("unexpected quota %d", quota)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_registry.go"
+    test_name = f"{vocab.noun()}_registry_test.go"
+    return build_case(
+        case_id=f"sync-once-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=lookup,
+        racy_variable=shared,
+        fix_strategy="once_lazy_init",
+        difficulty=Difficulty.COMPLEX,
+        description="a package-level value lazily initialized behind a bare nil check from many goroutines",
+        requires_file_scope=True,
+        test_function=f"Test{run}",
+        seed=seed,
+    )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.categories import RaceCategory, UnfixedReason
+from repro.diagnosis.categories import RaceCategory, UnfixedReason
 from repro.corpus.ground_truth import Difficulty, RaceCase
 from repro.corpus.noise import Vocabulary, make_vocabulary, noise_helper_functions, noise_struct
 from repro.runtime.harness import GoFile, GoPackage

@@ -13,7 +13,7 @@ Variants mirror the paper's examples:
 
 from __future__ import annotations
 
-from repro.core.categories import RaceCategory
+from repro.diagnosis.categories import RaceCategory
 from repro.corpus.ground_truth import Difficulty, RaceCase
 from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
 

@@ -9,7 +9,7 @@ need deep copies or large refactorings the strategy library does not perform.
 
 from __future__ import annotations
 
-from repro.core.categories import RaceCategory, UnfixedReason
+from repro.diagnosis.categories import RaceCategory, UnfixedReason
 from repro.corpus.ground_truth import Difficulty, RaceCase
 from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
 

@@ -1,0 +1,65 @@
+"""The diagnosis layer: one subsystem between detection and repair.
+
+The source paper treats race *categorization* as the hinge of the whole
+pipeline — the category drives example retrieval, prompt construction, and
+which fix pattern the model imitates.  This package owns that hinge:
+
+* :mod:`repro.diagnosis.categories` — the race-category taxonomy (Tables 3/5)
+  and the paper's reference frequency distributions;
+* :mod:`repro.diagnosis.diagnose` — :class:`RaceDiagnoser`, which converts a
+  raw :class:`~repro.runtime.race_report.RaceReport` into a structured
+  :class:`Diagnosis` (category, access pattern, involved symbols/scopes,
+  confidence, candidate fix patterns);
+* :mod:`repro.diagnosis.registry` — the pluggable :class:`FixPattern`
+  registry: strategies register themselves with the :func:`fix_pattern`
+  decorator, ordered by specificity and introspectable via ``drfix patterns``;
+* :mod:`repro.diagnosis.examples` — :func:`infer_pattern_from_example`, the
+  registry-driven classification of retrieved (buggy, fixed) pairs.
+
+Adding a new repair scenario is now additive: one ``@fix_pattern``-decorated
+strategy class plus one corpus template — detection ordering, example
+inference, prompt hints, CLI introspection, and per-category evaluation all
+follow from the registration.
+"""
+
+from repro.diagnosis.categories import (
+    PAPER_FIX_FREQUENCIES,
+    PAPER_UNFIXED_FREQUENCIES,
+    PAPER_VECTORDB_FREQUENCIES,
+    CategoryDistribution,
+    RaceCategory,
+    UnfixedReason,
+    all_categories,
+)
+from repro.diagnosis.diagnose import Diagnosis, RaceDiagnoser, clean_variable_name
+from repro.diagnosis.examples import infer_pattern_from_example
+from repro.diagnosis.registry import (
+    FixPattern,
+    all_patterns,
+    category_from_value,
+    fix_pattern,
+    get_pattern,
+    pattern_names,
+    patterns_for_category,
+)
+
+__all__ = [
+    "RaceCategory",
+    "UnfixedReason",
+    "CategoryDistribution",
+    "all_categories",
+    "PAPER_FIX_FREQUENCIES",
+    "PAPER_VECTORDB_FREQUENCIES",
+    "PAPER_UNFIXED_FREQUENCIES",
+    "Diagnosis",
+    "RaceDiagnoser",
+    "clean_variable_name",
+    "infer_pattern_from_example",
+    "FixPattern",
+    "fix_pattern",
+    "all_patterns",
+    "get_pattern",
+    "pattern_names",
+    "patterns_for_category",
+    "category_from_value",
+]

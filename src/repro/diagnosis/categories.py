@@ -1,9 +1,11 @@
-"""Race-category taxonomy used throughout the evaluation.
+"""Race-category taxonomy: the vocabulary of the diagnosis layer.
 
 The categories follow Table 3 (categories of races *fixed* by Dr.Fix and of
 the examples in the vector database) and Table 5 (categories of races Dr.Fix
 could *not* fix).  The corpus generator labels every synthetic race with a
-:class:`RaceCategory`, and the evaluation harness aggregates results by it.
+:class:`RaceCategory`, :class:`~repro.diagnosis.diagnose.RaceDiagnoser`
+assigns one to every raw race report, and the evaluation harness aggregates
+results by it.
 """
 
 from __future__ import annotations

@@ -1,0 +1,384 @@
+"""Report diagnosis: from a raw race report to a structured :class:`Diagnosis`.
+
+The paper treats race *categorization* as the hinge between detection and
+repair: the category drives example retrieval, prompt construction, and which
+fix pattern the model imitates.  :class:`RaceDiagnoser` implements that hinge
+in one place — it combines the report's own evidence (the racy variable's
+description, access kinds, involved files) with a light AST analysis of the
+repository (goroutine closures, struct fields, range loops) and produces a
+:class:`Diagnosis`: category, access pattern, involved symbols and scopes,
+candidate fix patterns, and a confidence score.
+
+The classification rules are ordered from most to least specific; each rule
+records the evidence it fired on, so downstream consumers (prompts, feedback,
+the CLI) can explain the diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnosis.categories import RaceCategory
+from repro.diagnosis.registry import patterns_for_category
+from repro.errors import GoSyntaxError
+from repro.golang import ast_nodes as ast
+from repro.golang.parser import parse_file
+from repro.runtime.harness import GoPackage
+from repro.runtime.race_report import RaceReport
+
+#: Standard-library objects whose internal state is thread-unsafe by design
+#: (the paper's "Others" category: shared rand sources, hashes, ...).
+_LIBRARY_STATE_PREFIXES = ("rand.", "md5.", "sha256.", "sha.", "Time.")
+
+
+def clean_variable_name(raw: str) -> str:
+    """Normalize a report's variable description to a program identifier."""
+    if not raw:
+        return ""
+    name = raw
+    for suffix in ("(map)", "(slice header)"):
+        name = name.replace(suffix, "")
+    name = name.split("(")[0]
+    if "." in name:
+        name = name.split(".")[-1]
+    name = name.strip()
+    if name.startswith("map["):
+        return ""
+    return name
+
+
+@dataclass
+class Diagnosis:
+    """Structured interpretation of one race report."""
+
+    category: RaceCategory
+    #: ``"write-write"`` or ``"read-write"`` (reads normalized first).
+    access_pattern: str = "write-write"
+    #: The normalized racy identifier (empty when the report has none).
+    racy_variable: str = ""
+    #: The report's raw variable description (``"shards(map)"``, ...).
+    raw_variable: str = ""
+    #: Functions involved in either racing stack (report order).
+    symbols: List[str] = field(default_factory=list)
+    #: Files involved in either racing stack (the candidate fix scopes).
+    scopes: List[str] = field(default_factory=list)
+    #: How certain the classifier is (0..1).
+    confidence: float = 0.5
+    #: What the classification was based on (human-readable).
+    evidence: str = ""
+
+    @property
+    def candidate_patterns(self) -> List[str]:
+        """Fix patterns addressing this category, in detection order."""
+        return [p.name for p in patterns_for_category(self.category)]
+
+    def summary(self) -> str:
+        """One-line rendering for CLI output and failure feedback."""
+        patterns = ", ".join(self.candidate_patterns) or "none"
+        return (
+            f"category={self.category.value} ({self.access_pattern}, "
+            f"confidence {self.confidence:.2f}); evidence: {self.evidence}; "
+            f"candidate patterns: {patterns}"
+        )
+
+
+class RaceDiagnoser:
+    """Classify race reports against one code repository."""
+
+    def __init__(self, package: GoPackage):
+        self.package = package
+        self._parsed: Dict[str, Optional[ast.File]] = {}
+
+    # ------------------------------------------------------------------
+
+    def diagnose(self, report: RaceReport) -> Diagnosis:
+        """Produce exactly one :class:`Diagnosis` for ``report``."""
+        raw = report.variable or ""
+        cleaned = clean_variable_name(raw)
+        scopes = [f for f in report.involved_files() if self.package.file(f) is not None]
+        category, confidence, evidence = self._classify(report, raw, cleaned, scopes)
+        return Diagnosis(
+            category=category,
+            access_pattern=_access_pattern(report),
+            racy_variable=cleaned,
+            raw_variable=raw,
+            symbols=report.involved_functions(),
+            scopes=scopes,
+            confidence=confidence,
+            evidence=evidence,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _classify(
+        self, report: RaceReport, raw: str, cleaned: str, scopes: List[str]
+    ) -> Tuple[RaceCategory, float, str]:
+        parsed = [p for p in (self._parse(name) for name in scopes) if p is not None]
+
+        # 1. wg.Add issued inside the goroutine body: the canonical
+        # mis-synchronization of Listing 6 — it leaves the parent's continuation
+        # unordered after the children, whatever datum the race lands on.
+        if any(self._has_add_inside_goroutine(file) for file in parsed):
+            return (
+                RaceCategory.MISSING_SYNCHRONIZATION,
+                0.9,
+                "wg.Add is issued inside the goroutine it accounts for",
+            )
+        # 2. Parallel subtests: a test file in the racing stacks calls t.Parallel.
+        if self._test_scope_is_parallel(scopes):
+            return (
+                RaceCategory.PARALLEL_TEST_SUITE,
+                0.9,
+                "a test file on the racing stacks runs parallel subtests",
+            )
+        # 3/4. The detector marks map and slice-header conflicts explicitly.
+        if "(map)" in raw:
+            return RaceCategory.CONCURRENT_MAP_ACCESS, 0.95, "the conflicting accesses target a map"
+        if "(slice header)" in raw or self._is_slice_field(parsed, cleaned):
+            return (
+                RaceCategory.CONCURRENT_SLICE_ACCESS,
+                0.9,
+                "the conflicting accesses target a slice",
+            )
+        # 5. Thread-unsafe library state (shared rand sources, hashes, ...).
+        if raw.startswith(_LIBRARY_STATE_PREFIXES):
+            return (
+                RaceCategory.OTHERS,
+                0.85,
+                "the race is on thread-unsafe standard-library state",
+            )
+        # 6. A loop variable captured by goroutines spawned in the loop body.
+        if cleaned and any(self._is_captured_loop_var(file, cleaned) for file in parsed):
+            return (
+                RaceCategory.LOOP_VARIABLE_CAPTURE,
+                0.9,
+                f"`{cleaned}` is a loop variable captured by goroutines in the loop body",
+            )
+        # 7. A variable of the enclosing function written inside a goroutine
+        # closure (capture by reference).
+        if cleaned and any(self._is_captured_write(file, cleaned) for file in parsed):
+            return (
+                RaceCategory.CAPTURE_BY_REFERENCE,
+                0.85,
+                f"`{cleaned}` is captured by reference and written inside a goroutine",
+            )
+        # 8. A struct field mutated through its methods without synchronization.
+        if cleaned and "." in raw:
+            type_name = raw.split(".")[0]
+            if any(self._method_writes_field(file, type_name, cleaned) for file in parsed):
+                return (
+                    RaceCategory.MISSING_SYNCHRONIZATION,
+                    0.8,
+                    f"methods of `{type_name}` mutate `{cleaned}` without synchronization",
+                )
+            # 9. A struct mutated through a shared pointer parameter: the
+            # callee should have copied the value ("Others" in Table 3).
+            if any(self._function_writes_param_field(file, cleaned) for file in parsed):
+                return (
+                    RaceCategory.OTHERS,
+                    0.7,
+                    f"`{cleaned}` is mutated through a struct pointer shared across calls",
+                )
+        # 10. Package-level state written by involved functions.
+        if cleaned and any(self._is_package_level_var(file, cleaned) for file in parsed):
+            return (
+                RaceCategory.MISSING_SYNCHRONIZATION,
+                0.7,
+                f"package-level `{cleaned}` is written without synchronization",
+            )
+        return (
+            RaceCategory.MISSING_SYNCHRONIZATION,
+            0.4,
+            "shared state accessed without an ordering edge (no more specific shape found)",
+        )
+
+    # -- parsing --------------------------------------------------------------------
+
+    def _parse(self, file_name: str) -> Optional[ast.File]:
+        if file_name not in self._parsed:
+            file = self.package.file(file_name)
+            if file is None:
+                self._parsed[file_name] = None
+            else:
+                try:
+                    self._parsed[file_name] = parse_file(file.source, file_name)
+                except GoSyntaxError:
+                    self._parsed[file_name] = None
+        return self._parsed[file_name]
+
+    # -- rule predicates ------------------------------------------------------------
+
+    @staticmethod
+    def _has_add_inside_goroutine(file: ast.File) -> bool:
+        for node in ast.walk(file):
+            if isinstance(node, ast.GoStmt) and isinstance(node.call.fun, ast.FuncLit):
+                for inner in ast.walk(node.call.fun.body):
+                    if isinstance(inner, ast.CallExpr) and isinstance(inner.fun, ast.SelectorExpr) \
+                            and inner.fun.sel == "Add":
+                        return True
+        return False
+
+    def _test_scope_is_parallel(self, scopes: List[str]) -> bool:
+        for name in scopes:
+            file = self.package.file(name)
+            if file is not None and file.is_test_file() and "t.Parallel()" in file.source:
+                return True
+        return False
+
+    @staticmethod
+    def _is_slice_field(parsed: List[ast.File], cleaned: str) -> bool:
+        if not cleaned:
+            return False
+        for file in parsed:
+            for spec in file.type_decls():
+                if isinstance(spec.type_, ast.StructType):
+                    for struct_field in spec.type_.fields:
+                        if cleaned in struct_field.names and isinstance(
+                            struct_field.type_, ast.ArrayType
+                        ):
+                            return True
+        return False
+
+    @staticmethod
+    def _is_captured_loop_var(file: ast.File, cleaned: str) -> bool:
+        for node in ast.walk(file):
+            if not isinstance(node, ast.RangeStmt):
+                continue
+            loop_vars = {
+                expr.name
+                for expr in (node.key, node.value)
+                if isinstance(expr, ast.Ident) and expr.name != "_"
+            }
+            if cleaned not in loop_vars:
+                continue
+            for inner in ast.walk(node.body):
+                if isinstance(inner, ast.GoStmt) and isinstance(inner.call.fun, ast.FuncLit):
+                    closure = inner.call.fun
+                    params = {n for f in closure.type_.params for n in f.names}
+                    args = {a.name for a in inner.call.args if isinstance(a, ast.Ident)}
+                    if cleaned in params or cleaned in args:
+                        continue
+                    if _references(closure.body, cleaned):
+                        return True
+        return False
+
+    @staticmethod
+    def _is_captured_write(file: ast.File, cleaned: str) -> bool:
+        """A closure of a goroutine-spawning function writes ``cleaned`` (a
+        variable of the enclosing function).  Closures launched indirectly
+        (``run := func() {...}; go run()``) count the same as ``go func()``."""
+        for decl in file.func_decls():
+            if decl.body is None:
+                continue
+            if not any(isinstance(n, ast.GoStmt) for n in ast.walk(decl.body)):
+                continue
+            declared = _declared_names(decl)
+            for node in ast.walk(decl.body):
+                if not isinstance(node, ast.FuncLit):
+                    continue
+                for inner in ast.walk(node.body):
+                    targets: List[ast.Expr] = []
+                    if isinstance(inner, ast.AssignStmt) and inner.tok != ":=":
+                        targets = inner.lhs
+                    elif isinstance(inner, ast.IncDecStmt):
+                        targets = [inner.x]
+                    for target in targets:
+                        base = ast.base_name(target)
+                        if base not in declared:
+                            continue
+                        if isinstance(target, ast.Ident) and target.name == cleaned:
+                            return True
+                        if isinstance(target, ast.SelectorExpr) and target.sel == cleaned:
+                            return True
+        return False
+
+    @staticmethod
+    def _method_writes_field(file: ast.File, type_name: str, cleaned: str) -> bool:
+        for decl in file.func_decls():
+            if decl.recv is None or decl.body is None:
+                continue
+            recv_type = decl.recv.type_
+            if isinstance(recv_type, ast.StarExpr):
+                recv_type = recv_type.x
+            if not (isinstance(recv_type, ast.Ident) and recv_type.name == type_name):
+                continue
+            receiver = decl.recv.names[0] if decl.recv.names else ""
+            if _writes_selector(decl.body, receiver, cleaned):
+                return True
+        return False
+
+    @staticmethod
+    def _function_writes_param_field(file: ast.File, cleaned: str) -> bool:
+        for decl in file.func_decls():
+            if decl.recv is not None or decl.body is None:
+                continue
+            params = {n for f in decl.type_.params for n in f.names}
+            for name in params:
+                if _writes_selector(decl.body, name, cleaned):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_package_level_var(file: ast.File, cleaned: str) -> bool:
+        for decl in file.decls:
+            if isinstance(decl, ast.GenDecl) and decl.tok == "var":
+                for spec in decl.specs:
+                    if isinstance(spec, ast.ValueSpec) and cleaned in spec.names:
+                        return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _access_pattern(report: RaceReport) -> str:
+    kinds = sorted(
+        ("write" if trace.is_write else "read") for trace in (report.first, report.second)
+    )
+    return "-".join(kinds)
+
+
+def _references(node: ast.Node, name: str) -> bool:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Ident) and inner.name == name:
+            return True
+    return False
+
+
+def _declared_names(decl: ast.FuncDecl) -> set:
+    names = set()
+    for param in decl.type_.params:
+        names.update(param.names)
+    for node in ast.walk(decl.body):
+        if isinstance(node, ast.AssignStmt) and node.tok == ":=":
+            for target in node.lhs:
+                if isinstance(target, ast.Ident):
+                    names.add(target.name)
+        elif isinstance(node, ast.DeclStmt):
+            for spec in node.decl.specs:
+                if isinstance(spec, ast.ValueSpec):
+                    names.update(spec.names)
+        elif isinstance(node, ast.RangeStmt):
+            for expr in (node.key, node.value):
+                if isinstance(expr, ast.Ident):
+                    names.add(expr.name)
+    return names
+
+
+def _writes_selector(body: ast.BlockStmt, base: str, field_name: str) -> bool:
+    if not base:
+        return False
+    for node in ast.walk(body):
+        targets: List[ast.Expr] = []
+        if isinstance(node, ast.AssignStmt):
+            targets = node.lhs
+        elif isinstance(node, ast.IncDecStmt):
+            targets = [node.x]
+        for target in targets:
+            if isinstance(target, ast.SelectorExpr) and target.sel == field_name \
+                    and ast.base_name(target) == base:
+                return True
+    return False

@@ -1,0 +1,197 @@
+"""Example-pair diagnosis: which repair pattern does a (buggy, fixed) pair
+demonstrate?
+
+This is the registry-driven successor of the inference that used to live in
+``repro.llm.strategies.infer_strategy_from_example``.  Each registered
+:class:`~repro.diagnosis.registry.FixPattern` carries a textual *signature*
+predicate; :func:`infer_pattern_from_example` scans the signatures in each
+pattern's ``example_rank`` order and returns the first match.  The
+classification looks only at the example text — exactly the signal a real
+model would imitate.
+
+The predicate helpers below are deliberately plain text/line analyses (no AST)
+so they behave identically on function- and file-scoped snippets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.diagnosis.registry import all_patterns
+
+
+def infer_pattern_from_example(buggy: str, fixed: str) -> Optional[str]:
+    """Identify which repair pattern a (buggy, fixed) example demonstrates.
+
+    Returns a pattern name or ``None`` when the example does not clearly
+    demonstrate a registered pattern.
+    """
+    if not buggy.strip() or not fixed.strip():
+        return None
+    ranked = sorted(all_patterns(), key=lambda p: (p.example_rank, p.name))
+    for pattern in ranked:
+        if pattern.signature is not None and pattern.signature(buggy, fixed):
+            return pattern.name
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Signature predicates (referenced by the @fix_pattern registrations)
+# ---------------------------------------------------------------------------
+
+
+def _count(text: str, needle: str) -> int:
+    return text.count(needle)
+
+
+def added_sync_map(buggy: str, fixed: str) -> bool:
+    """The fix introduces ``sync.Map`` (Store/Range conversions follow)."""
+    return _count(fixed, "sync.Map") > _count(buggy, "sync.Map")
+
+
+def added_error_channel(buggy: str, fixed: str) -> bool:
+    """A new channel of error appears."""
+    return _count(fixed, "chan error") > _count(buggy, "chan error")
+
+
+def isolated_parallel_fixture(buggy: str, fixed: str) -> bool:
+    """``t.Parallel`` present and a shared fixture is now constructed per case."""
+    return "t.Parallel()" in fixed and _removed_shared_fixture(buggy, fixed)
+
+
+def added_fresh_rand_source(buggy: str, fixed: str) -> bool:
+    """A fresh ``rand.NewSource`` per request replaces a shared source."""
+    return _count(fixed, "rand.NewSource(") > _count(buggy, "rand.NewSource(")
+
+
+def added_mutex_decl(buggy: str, fixed: str) -> bool:
+    """A new ``sync.Mutex`` declaration appears."""
+    return _count(fixed, "sync.Mutex") > _count(buggy, "sync.Mutex")
+
+
+def added_lock_calls(buggy: str, fixed: str) -> bool:
+    """New ``.Lock()`` calls complete an existing locking discipline."""
+    return _count(fixed, ".Lock()") > _count(buggy, ".Lock()")
+
+
+def added_atomic_calls(buggy: str, fixed: str) -> bool:
+    """The fix rewrites plain accesses to ``sync/atomic`` operations."""
+    return _count(fixed, "atomic.") > _count(buggy, "atomic.")
+
+
+def added_read_locking(buggy: str, fixed: str) -> bool:
+    """New ``.RLock()`` calls guard a previously bare read path."""
+    return _count(fixed, ".RLock()") > _count(buggy, ".RLock()")
+
+
+def added_once_guard(buggy: str, fixed: str) -> bool:
+    """A ``sync.Once`` now guards the initialization."""
+    return _count(fixed, "sync.Once") > _count(buggy, "sync.Once")
+
+
+def moved_wg_add(buggy: str, fixed: str) -> bool:
+    """``wg.Add`` moved from inside the goroutine body to before the ``go``."""
+    if ".Add(" not in buggy or ".Add(" not in fixed:
+        return False
+
+    def add_inside_go(text: str) -> bool:
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            if ".Add(" in line:
+                context = "\n".join(lines[max(0, index - 3):index])
+                if "go func" in context:
+                    return True
+        return False
+
+    return add_inside_go(buggy) and not add_inside_go(fixed)
+
+
+def added_loop_self_copy(buggy: str, fixed: str) -> bool:
+    """An ``x := x`` privatization of a loop variable appears."""
+    return _added_self_copy(buggy, fixed) == "loop"
+
+
+def added_deref_copy(buggy: str, fixed: str) -> bool:
+    """A ``new... := *param`` dereference copy appears."""
+    for line in fixed.splitlines():
+        stripped = line.strip()
+        if ":=" in stripped and stripped not in buggy:
+            _, _, right = stripped.partition(":=")
+            if right.strip().startswith("*"):
+                return True
+    return False
+
+
+def privatized_local_copy(buggy: str, fixed: str) -> bool:
+    """A ``localX := x`` copy or a goroutine parameter privatizes the value."""
+    return _added_self_copy(buggy, fixed) == "local" or _added_goroutine_param(buggy, fixed)
+
+
+def assignment_became_declaration(buggy: str, fixed: str) -> bool:
+    """An ``=`` on a shared variable became ``:=`` inside a closure."""
+    buggy_lines = {line.strip() for line in buggy.splitlines()}
+    for line in fixed.splitlines():
+        stripped = line.strip()
+        if ":=" in stripped:
+            as_assignment = stripped.replace(":=", "=", 1)
+            if as_assignment in buggy_lines and stripped not in buggy_lines:
+                return True
+    return False
+
+
+# -- shared helpers ------------------------------------------------------------------
+
+
+def _removed_shared_fixture(buggy: str, fixed: str) -> bool:
+    """A fixture shared across subtests either disappeared or moved inside the
+    ``t.Run`` closure (after ``t.Parallel()``)."""
+    fixed_lines = [line.strip() for line in fixed.splitlines()]
+    buggy_lines = [line.strip() for line in buggy.splitlines()]
+
+    def first_index(lines: list[str], needle: str) -> int:
+        for index, line in enumerate(lines):
+            if needle in line:
+                return index
+        return len(lines)
+
+    buggy_run = first_index(buggy_lines, "t.Run(")
+    fixed_parallel = first_index(fixed_lines, "t.Parallel()")
+    for index, stripped in enumerate(buggy_lines):
+        if ":=" not in stripped or index >= buggy_run:
+            continue
+        if not (".New(" in stripped or "New(" in stripped or "&" in stripped):
+            continue
+        name = stripped.split(":=")[0].strip()
+        if not name or not name.isidentifier():
+            continue
+        # Shape (a): the shared declaration disappeared entirely.
+        if stripped not in fixed_lines and buggy.count(name) > fixed.count(name):
+            return True
+        # Shape (b): the declaration moved inside the parallel subtest closure.
+        if stripped in fixed_lines and fixed_lines.index(stripped) > fixed_parallel < len(fixed_lines):
+            return True
+    return False
+
+
+def _added_self_copy(buggy: str, fixed: str) -> Optional[str]:
+    for line in fixed.splitlines():
+        stripped = line.strip()
+        if ":=" in stripped and stripped not in buggy:
+            left, _, right = stripped.partition(":=")
+            left, right = left.strip(), right.strip()
+            if left and left == right:
+                return "loop"
+            if left.startswith("local") and right and right[0].islower() and right.isidentifier():
+                return "local"
+    return None
+
+
+def _added_goroutine_param(buggy: str, fixed: str) -> bool:
+    buggy_plain = buggy.count("go func() {") + buggy.count("}()")
+    fixed_param = 0
+    for line in fixed.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("go func(") and not stripped.startswith("go func()"):
+            if "go func(" + stripped[len("go func("):] not in buggy:
+                fixed_param += 1
+    return fixed_param > 0 and buggy_plain > 0

@@ -1,0 +1,137 @@
+"""The pluggable fix-pattern registry.
+
+A :class:`FixPattern` is one concurrency-repair recipe promoted to a
+first-class registry entry: it binds a strategy implementation (an AST
+transformation living in :mod:`repro.llm.strategies`) to the diagnosis
+metadata the rest of the pipeline needs — the race categories it addresses,
+its *specificity* (how narrowly it applies, which orders detection so a
+generic pattern never shadows a targeted one), and an *example signature*
+that recognizes when a retrieved (buggy, fixed) pair demonstrates the
+pattern (how RAG "unlocks" it for the model).
+
+Patterns register themselves with the :func:`fix_pattern` class decorator at
+strategy-definition site, so adding a new repair scenario is one decorated
+class plus a corpus template — no parallel tables to keep in sync.  The
+registry is introspectable from the CLI via ``drfix patterns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.diagnosis.categories import RaceCategory
+
+#: ``(buggy, fixed) -> bool``: does the pair demonstrate this pattern?
+ExampleSignature = Callable[[str, str], bool]
+
+
+@dataclass(frozen=True)
+class FixPattern:
+    """One registered repair pattern."""
+
+    #: Unique pattern name (also the strategy name recorded in outcomes).
+    name: str
+    #: The :class:`~repro.llm.strategies.base.FixStrategy` subclass.
+    strategy_cls: type
+    #: One-line human description (shown by ``drfix patterns`` and Table 4).
+    description: str = ""
+    #: Race categories this pattern typically repairs.
+    categories: Tuple[RaceCategory, ...] = ()
+    #: Detection order: higher means more specific, tried earlier.
+    specificity: int = 0
+    #: Example-inference scan order: lower is checked first.  Signatures are
+    #: not mutually exclusive (a fix that introduces a mutex also adds lock
+    #: calls), so distinctive signatures must outrank generic ones.
+    example_rank: int = 1000
+    #: Recognizer for (buggy, fixed) pairs demonstrating this pattern.
+    signature: Optional[ExampleSignature] = None
+
+    def make_strategy(self):
+        """A fresh strategy instance (callers may cache it)."""
+        return self.strategy_cls()
+
+
+_PATTERNS: Dict[str, FixPattern] = {}
+_BUILTINS_LOADED = False
+
+
+def fix_pattern(
+    *,
+    categories: Iterable[RaceCategory] = (),
+    specificity: int = 0,
+    example_rank: int = 1000,
+    description: str = "",
+    signature: Optional[ExampleSignature] = None,
+    name: Optional[str] = None,
+):
+    """Class decorator registering a strategy class as a :class:`FixPattern`."""
+
+    def register(cls):
+        pattern = FixPattern(
+            name=name or cls.name,
+            strategy_cls=cls,
+            description=description or _first_doc_line(cls),
+            categories=tuple(categories),
+            specificity=specificity,
+            example_rank=example_rank,
+            signature=signature,
+        )
+        existing = _PATTERNS.get(pattern.name)
+        if existing is not None and existing.strategy_cls is not cls:
+            raise ValueError(
+                f"fix pattern {pattern.name!r} is already registered "
+                f"by {existing.strategy_cls.__name__}"
+            )
+        _PATTERNS[pattern.name] = pattern
+        return cls
+
+    return register
+
+
+def _first_doc_line(cls) -> str:
+    doc = (cls.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in strategy modules so their decorators register."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.llm.strategies  # noqa: F401  (side effect: registration)
+
+
+def all_patterns() -> List[FixPattern]:
+    """Every registered pattern in detection order (most specific first)."""
+    _ensure_loaded()
+    return sorted(_PATTERNS.values(), key=lambda p: (-p.specificity, p.name))
+
+
+def pattern_names() -> List[str]:
+    """Pattern names in detection order."""
+    return [pattern.name for pattern in all_patterns()]
+
+
+def get_pattern(pattern_name: str) -> FixPattern:
+    _ensure_loaded()
+    try:
+        return _PATTERNS[pattern_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fix pattern {pattern_name!r} (available: {sorted(_PATTERNS)})"
+        ) from None
+
+
+def patterns_for_category(category: RaceCategory) -> List[FixPattern]:
+    """Patterns addressing ``category``, in detection order."""
+    return [p for p in all_patterns() if category in p.categories]
+
+
+def category_from_value(value: str) -> Optional[RaceCategory]:
+    """Parse a category's wire value (``"concurrent-map-access"``); None if unknown."""
+    for category in RaceCategory:
+        if category.value == value:
+            return category
+    return None

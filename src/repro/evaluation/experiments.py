@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.categories import (
+from repro.diagnosis.categories import (
     PAPER_FIX_FREQUENCIES,
     PAPER_UNFIXED_FREQUENCIES,
     PAPER_VECTORDB_FREQUENCIES,
@@ -18,6 +18,7 @@ from repro.core.categories import (
     UnfixedReason,
     all_categories,
 )
+from repro.diagnosis.registry import all_patterns
 from repro.core.config import DrFixConfig
 from repro.evaluation.ablation import (
     location_ablation,
@@ -25,7 +26,13 @@ from repro.evaluation.ablation import (
     rag_ablation,
     scope_ablation,
 )
-from repro.evaluation.metrics import TABLE7_PERCENTILES, percentile
+from repro.evaluation.metrics import (
+    TABLE7_PERCENTILES,
+    category_fix_rates,
+    diagnosis_agreement,
+    diagnosis_agreement_by_category,
+    percentile,
+)
 from repro.evaluation.reporting import Table
 from repro.evaluation.runner import EvaluationRun, ExperimentContext
 from repro.evaluation.survey import PAPER_COMPLEXITY_SCORE, PAPER_QUALITY_SCORE, run_survey
@@ -141,6 +148,42 @@ def table3_categories(context: ExperimentContext, run: EvaluationRun | None = No
 
 
 # ---------------------------------------------------------------------------
+# Diagnosis layer — per-category fix rates and diagnosis agreement
+# ---------------------------------------------------------------------------
+
+
+def table_diagnosis(context: ExperimentContext, run: EvaluationRun | None = None) -> Table:
+    """Per-category validated fix rate plus the diagnosis layer's agreement
+    with the corpus ground truth (the categorization accuracy the paper's
+    pipeline relies on but never reports directly)."""
+    run = run if run is not None else context.full_run()
+    fix_rates = category_fix_rates(run.results)
+    agreement = diagnosis_agreement_by_category(run.results)
+    overall = diagnosis_agreement(run.results)
+    table = Table(
+        title="Diagnosis layer — per-category fix rate and report-categorization agreement",
+        headers=["Category", "Cases", "Fixed", "Fix %", "Diagnosis agreement"],
+        paper_reference="Section 4.2 (race categorization)",
+    )
+    for category in all_categories():
+        rate = fix_rates[category]
+        agree = agreement[category]
+        table.add_row(
+            category.display_name,
+            rate.total,
+            rate.fixed,
+            f"{rate.percent:.1f}%",
+            f"{agree.percent:.1f}%" if agree.total else "-",
+        )
+    table.add_row("Overall", overall.total, "-", "-", f"{overall.percent:.1f}%")
+    table.notes.append(
+        "agreement compares the diagnosis layer's category (derived from the raw race "
+        "report and a light AST analysis) against the corpus template's ground truth"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Figures 3 and 4, LCA, models — ablations
 # ---------------------------------------------------------------------------
 
@@ -211,19 +254,8 @@ def table4_rag_pivotal(context: ExperimentContext) -> Table:
     by_strategy: Dict[str, int] = {}
     for result in pivotal:
         by_strategy[result.outcome.strategy] = by_strategy.get(result.outcome.strategy, 0) + 1
-    descriptions = {
-        "sync_map_convert": "Changing data types (map vs sync.Map) and propagating the change to all references",
-        "channel_error": "Appropriately placing send/recv on channels instead of sharing variables",
-        "mutex_guard": "Introducing a new mutex into a larger aggregate type and guarding all usage points",
-        "complete_locking": "Managing locks consistently across multiple code regions",
-        "struct_copy": "Creating copies of complex data structures to avoid unwanted sharing",
-        "parallel_test_isolation": "Privatizing shared fixtures across parallel subtests",
-        "privatize_local_copy": "Creating per-goroutine copies / passing values as parameters",
-        "move_wg_add": "Relocating WaitGroup Add/Done/Wait to restore the intended ordering",
-        "redeclare": "Re-declaring captured variables inside the goroutine",
-        "loop_var_copy": "Privatizing captured loop variables",
-        "rand_per_request": "Creating per-request instances of thread-unsafe library state",
-    }
+    # The fix-pattern registry is the single source of pattern descriptions.
+    descriptions = {pattern.name: pattern.description for pattern in all_patterns()}
     table = Table(
         title="Table 4 — Fixes where RAG played a pivotal role (fixed with RAG, missed without)",
         headers=["Repair pattern", "Count", "Description"],
@@ -368,6 +400,7 @@ def all_experiment_tables(context: ExperimentContext) -> List[Table]:
         table1_codebase(context),
         table2_components(context.base_config),
         table3_categories(context, run),
+        table_diagnosis(context, run),
         figure3_rag(context),
         figure4_scope(context),
         table4_rag_pivotal(context),

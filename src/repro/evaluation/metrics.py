@@ -1,10 +1,16 @@
-"""Evaluation metrics: fix rates, category histograms, percentiles."""
+"""Evaluation metrics: fix rates, category histograms, percentiles, and the
+diagnosis-layer aggregates (per-category fix rates, diagnosis agreement)."""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
+
+from repro.diagnosis.categories import RaceCategory, all_categories
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.runner import CaseResult
 
 
 @dataclass
@@ -82,6 +88,63 @@ class Histogram:
 
     def sorted_items(self) -> List[tuple[str, int]]:
         return sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def category_fix_rates(results: "Sequence[CaseResult]") -> Dict[RaceCategory, FixRate]:
+    """Validated-fix rate per ground-truth race category (Table 3 companion)."""
+    rates: Dict[RaceCategory, FixRate] = {
+        category: FixRate(label=category.value) for category in all_categories()
+    }
+    for result in results:
+        rate = rates[result.case.category]
+        rate.total += 1
+        if result.fixed:
+            rate.fixed += 1
+    return rates
+
+
+def pattern_fix_counts(results: "Sequence[CaseResult]") -> Dict[str, int]:
+    """How many validated fixes each fix pattern produced."""
+    counts: Dict[str, int] = {}
+    for result in results:
+        if result.fixed and result.outcome.strategy:
+            counts[result.outcome.strategy] = counts.get(result.outcome.strategy, 0) + 1
+    return counts
+
+
+def diagnosis_agreement(results: "Sequence[CaseResult]") -> FixRate:
+    """How often the diagnosis layer's category matches the ground truth.
+
+    Counted over results that carry a diagnosis (outcomes rehydrated from an
+    old run store may not).
+    """
+    agreement = FixRate(label="diagnosis agreement")
+    for result in results:
+        diagnosis = result.outcome.diagnosis
+        if diagnosis is None:
+            continue
+        agreement.total += 1
+        if diagnosis.category is result.case.category:
+            agreement.fixed += 1
+    return agreement
+
+
+def diagnosis_agreement_by_category(
+    results: "Sequence[CaseResult]",
+) -> Dict[RaceCategory, FixRate]:
+    """Per-ground-truth-category diagnosis agreement."""
+    rates: Dict[RaceCategory, FixRate] = {
+        category: FixRate(label=category.value) for category in all_categories()
+    }
+    for result in results:
+        diagnosis = result.outcome.diagnosis
+        if diagnosis is None:
+            continue
+        rate = rates[result.case.category]
+        rate.total += 1
+        if diagnosis.category is result.case.category:
+            rate.fixed += 1
+    return rates
 
 
 def mean(values: Iterable[float]) -> float:

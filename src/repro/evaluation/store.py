@@ -37,13 +37,14 @@ from repro.core.patcher import Patch
 from repro.core.pipeline import FixAttempt, FixOutcome
 from repro.core.review import ReviewDecision
 from repro.corpus.ground_truth import RaceCase
+from repro.diagnosis import Diagnosis, category_from_value
 from repro.runtime.harness import GoFile, GoPackage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports store)
     from repro.evaluation.runner import CaseResult
 
 #: Bump when the serialised shape of a cache entry changes.
-STORE_VERSION = 1
+STORE_VERSION = 2
 
 #: DrFixConfig fields that change how fast a run executes but not what it
 #: computes; they are excluded from the fingerprint so a parallel run hits the
@@ -128,6 +129,18 @@ def serialize_case_result(result: "CaseResult") -> Dict[str, Any]:
             "reason": result.review.reason,
             "requires_refinement": result.review.requires_refinement,
         }
+    diagnosis = None
+    if outcome.diagnosis is not None:
+        diagnosis = {
+            "category": outcome.diagnosis.category.value,
+            "access_pattern": outcome.diagnosis.access_pattern,
+            "racy_variable": outcome.diagnosis.racy_variable,
+            "raw_variable": outcome.diagnosis.raw_variable,
+            "symbols": list(outcome.diagnosis.symbols),
+            "scopes": list(outcome.diagnosis.scopes),
+            "confidence": outcome.diagnosis.confidence,
+            "evidence": outcome.diagnosis.evidence,
+        }
     return {
         "version": STORE_VERSION,
         "case_id": result.case.case_id,
@@ -136,6 +149,7 @@ def serialize_case_result(result: "CaseResult") -> Dict[str, Any]:
         "outcome": {
             "bug_hash": outcome.bug_hash,
             "fixed": outcome.fixed,
+            "diagnosis": diagnosis,
             "strategy": outcome.strategy,
             "location": outcome.location,
             "scope": outcome.scope,
@@ -170,10 +184,26 @@ def deserialize_case_result(data: Dict[str, Any], case: RaceCase) -> "CaseResult
             package=GoPackage(name=case.package.name, files=files),
             changed_files=list(raw_patch["changed_files"]),
         )
+    diagnosis = None
+    raw_diagnosis = raw_outcome.get("diagnosis")
+    if raw_diagnosis is not None:
+        category = category_from_value(raw_diagnosis["category"])
+        if category is not None:
+            diagnosis = Diagnosis(
+                category=category,
+                access_pattern=raw_diagnosis["access_pattern"],
+                racy_variable=raw_diagnosis["racy_variable"],
+                raw_variable=raw_diagnosis["raw_variable"],
+                symbols=list(raw_diagnosis["symbols"]),
+                scopes=list(raw_diagnosis["scopes"]),
+                confidence=raw_diagnosis["confidence"],
+                evidence=raw_diagnosis["evidence"],
+            )
     outcome = FixOutcome(
         bug_hash=raw_outcome["bug_hash"],
         fixed=raw_outcome["fixed"],
         patch=patch,
+        diagnosis=diagnosis,
         strategy=raw_outcome["strategy"],
         location=raw_outcome["location"],
         scope=raw_outcome["scope"],

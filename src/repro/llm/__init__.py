@@ -22,7 +22,7 @@ swapped in without touching the pipeline.
 from repro.llm.base import ChatMessage, LLMClient, ModelResponse
 from repro.llm.prompt_parser import FixTask, parse_fix_prompt
 from repro.llm.simulated import MODEL_PROFILES, ModelProfile, SimulatedLLM
-from repro.llm.strategies import STRATEGY_REGISTRY, infer_strategy_from_example
+from repro.llm.strategies import STRATEGY_REGISTRY
 
 __all__ = [
     "ChatMessage",
@@ -34,5 +34,4 @@ __all__ = [
     "ModelProfile",
     "MODEL_PROFILES",
     "STRATEGY_REGISTRY",
-    "infer_strategy_from_example",
 ]

@@ -27,6 +27,7 @@ _FEEDBACK_RE = re.compile(
 )
 _SCOPE_RE = re.compile(r"fix the data race in the golang (?P<scope>function|file)")
 _FILE_RE = re.compile(r"The code is from file `(?P<file>[^`]+)`")
+_DIAGNOSIS_RE = re.compile(r"Race diagnosis: category=(?P<category>[a-z-]+)")
 
 
 @dataclass
@@ -41,6 +42,8 @@ class FixTask:
     racy_functions: List[str] = field(default_factory=list)
     example: Optional[Tuple[str, str]] = None
     feedback: str = ""
+    #: The diagnosis layer's category for this race (wire value, may be empty).
+    diagnosis_category: str = ""
 
     @property
     def has_example(self) -> bool:
@@ -85,6 +88,9 @@ def parse_fix_prompt(system: str, user: str) -> FixTask:
         task.racy_functions = [
             name.strip() for name in functions_match.group("names").split(",") if name.strip()
         ]
+    diagnosis_match = _DIAGNOSIS_RE.search(description)
+    if diagnosis_match:
+        task.diagnosis_category = diagnosis_match.group("category")
     example_match = _EXAMPLE_RE.search(user)
     if example_match:
         task.example = (example_match.group("buggy"), example_match.group("fixed"))

@@ -20,13 +20,15 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.diagnosis import (
+    category_from_value,
+    infer_pattern_from_example,
+    pattern_names,
+    patterns_for_category,
+)
 from repro.llm.base import ChatMessage, ModelResponse
 from repro.llm.prompt_parser import FixTask, parse_fix_prompt
-from repro.llm.strategies import (
-    infer_strategy_from_example,
-    ordered_strategies,
-    parse_scope,
-)
+from repro.llm.strategies import ordered_strategies, parse_scope
 
 
 @dataclass(frozen=True)
@@ -52,21 +54,9 @@ class ModelProfile:
         return allowed
 
 
-_ALL_STRATEGIES = frozenset(
-    {
-        "redeclare",
-        "loop_var_copy",
-        "privatize_local_copy",
-        "move_wg_add",
-        "rand_per_request",
-        "mutex_guard",
-        "complete_locking",
-        "sync_map_convert",
-        "channel_error",
-        "struct_copy",
-        "parallel_test_isolation",
-    }
-)
+# Every registered fix pattern: a newly registered @fix_pattern is guided-
+# capable for the frontier profiles without touching this module.
+_ALL_STRATEGIES = frozenset(pattern_names())
 
 #: Profiles for the models used in the paper plus a weak open-source stand-in
 #: (Section 5.6 notes open-source models were unpromising).
@@ -153,7 +143,7 @@ class SimulatedLLM:
 
         demonstrated = None
         if task.has_example:
-            demonstrated = infer_strategy_from_example(task.example[0], task.example[1])
+            demonstrated = infer_pattern_from_example(task.example[0], task.example[1])
         allowed = self.profile.allowed_strategies(demonstrated)
 
         # Context-length degradation: with too much irrelevant code and no
@@ -173,10 +163,24 @@ class SimulatedLLM:
                     ],
                 )
 
-        # Prefer the demonstrated strategy, then the remaining allowed ones.
+        # Prefer the demonstrated strategy, then patterns matching the prompt's
+        # race diagnosis (the category drives which pattern the model imitates),
+        # then the remaining allowed ones in specificity order.
         strategies = ordered_strategies(allowed)
-        if demonstrated and demonstrated in allowed:
-            strategies.sort(key=lambda s: 0 if s.name == demonstrated else 1)
+        category_patterns: Set[str] = set()
+        if task.diagnosis_category:
+            category = category_from_value(task.diagnosis_category)
+            if category is not None:
+                category_patterns = {p.name for p in patterns_for_category(category)}
+
+        def preference(strategy) -> int:
+            if demonstrated and demonstrated in allowed and strategy.name == demonstrated:
+                return 0
+            if strategy.name in category_patterns:
+                return 1
+            return 2
+
+        strategies.sort(key=preference)
         for strategy in strategies:
             plan = strategy.detect(task, scope)
             if plan is None:

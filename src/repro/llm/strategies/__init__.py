@@ -1,11 +1,21 @@
-"""Strategy registry and example-to-strategy inference.
+"""Strategy implementations behind the fix-pattern registry.
 
-``STRATEGY_REGISTRY`` maps strategy names to instances; ``ordered_strategies``
-returns them in the order a model should try them (most specific first).
-``infer_strategy_from_example`` inspects a retrieved (buggy, fixed) pair and
-identifies which repair pattern it demonstrates — this is how a retrieved
-example "unlocks" a guided strategy for the simulated model, mirroring how a
-real LLM imitates the example's structure.
+Every strategy class registers itself as a
+:class:`~repro.diagnosis.registry.FixPattern` with the ``@fix_pattern``
+decorator at its definition site; this package merely imports the strategy
+modules (which triggers registration) and exposes the registry-backed views
+the model layer consumes:
+
+* :data:`STRATEGY_REGISTRY` — one shared strategy instance per pattern name;
+* :data:`STRATEGY_ORDER` — pattern names in detection order (most specific
+  first, from the patterns' declared specificity), so a generic strategy does
+  not shadow a targeted one (e.g. mutex-guard would "fix" almost anything);
+* :func:`ordered_strategies` — the instances in that order, optionally
+  restricted to an allowed set.
+
+Example-to-pattern inference lives in :mod:`repro.diagnosis.examples`
+(:func:`~repro.diagnosis.examples.infer_pattern_from_example`), driven by the
+same registrations.
 """
 
 from __future__ import annotations
@@ -13,209 +23,22 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.llm.strategies.base import FixStrategy, ScopeCode, StrategyPlan, parse_scope
-from repro.llm.strategies.locking import CompleteLockingStrategy, MutexGuardStrategy
-from repro.llm.strategies.restructure import (
-    ChannelErrorStrategy,
-    ParallelTestIsolationStrategy,
-    StructCopyStrategy,
-    SyncMapConvertStrategy,
-)
-from repro.llm.strategies.simple import (
-    LoopVarCopyStrategy,
-    MoveWaitGroupAddStrategy,
-    PrivatizeLocalCopyStrategy,
-    RandPerRequestStrategy,
-    RedeclareStrategy,
-)
+from repro.llm.strategies import atomics, locking, restructure, simple  # noqa: F401
+from repro.diagnosis.registry import all_patterns
 
-#: All strategies, keyed by name.
+#: One shared strategy instance per pattern, keyed by name.
 STRATEGY_REGISTRY: Dict[str, FixStrategy] = {
-    strategy.name: strategy
-    for strategy in (
-        RedeclareStrategy(),
-        LoopVarCopyStrategy(),
-        MoveWaitGroupAddStrategy(),
-        ParallelTestIsolationStrategy(),
-        SyncMapConvertStrategy(),
-        ChannelErrorStrategy(),
-        CompleteLockingStrategy(),
-        StructCopyStrategy(),
-        RandPerRequestStrategy(),
-        PrivatizeLocalCopyStrategy(),
-        MutexGuardStrategy(),
-    )
+    pattern.name: pattern.make_strategy() for pattern in all_patterns()
 }
 
-#: Detection order: most specific patterns first so a generic strategy does not
-#: shadow a targeted one (e.g. mutex-guard would "fix" almost anything).
-STRATEGY_ORDER: List[str] = [
-    "move_wg_add",
-    "loop_var_copy",
-    "parallel_test_isolation",
-    "sync_map_convert",
-    "channel_error",
-    "complete_locking",
-    "rand_per_request",
-    "struct_copy",
-    "redeclare",
-    "privatize_local_copy",
-    "mutex_guard",
-]
+#: Detection order (most specific patterns first), from the registry.
+STRATEGY_ORDER: List[str] = [pattern.name for pattern in all_patterns()]
 
 
 def ordered_strategies(allowed: Optional[set[str]] = None) -> List[FixStrategy]:
     """Strategies in detection order, optionally restricted to ``allowed`` names."""
     names = [name for name in STRATEGY_ORDER if allowed is None or name in allowed]
     return [STRATEGY_REGISTRY[name] for name in names]
-
-
-# ---------------------------------------------------------------------------
-# Example classification
-# ---------------------------------------------------------------------------
-
-
-def infer_strategy_from_example(buggy: str, fixed: str) -> Optional[str]:
-    """Identify which repair pattern a (buggy, fixed) example demonstrates.
-
-    The classification looks only at the example text — exactly the signal a
-    real model would imitate.  Returns a strategy name or ``None`` when the
-    example does not clearly demonstrate a known pattern.
-    """
-    if not buggy.strip() or not fixed.strip():
-        return None
-
-    def count(text: str, needle: str) -> int:
-        return text.count(needle)
-
-    # sync.Map conversion: the fix introduces sync.Map / Store / Range calls.
-    if count(fixed, "sync.Map") > count(buggy, "sync.Map"):
-        return "sync_map_convert"
-    # Error channel: a new channel of error appears.
-    if count(fixed, "chan error") > count(buggy, "chan error"):
-        return "channel_error"
-    # Parallel-test isolation: t.Parallel present and a shared fixture is now
-    # constructed per case (the shared declaration disappears).
-    if "t.Parallel()" in fixed and _removed_shared_fixture(buggy, fixed):
-        return "parallel_test_isolation"
-    # Fresh rand source per request.
-    if count(fixed, "rand.NewSource(") > count(buggy, "rand.NewSource("):
-        return "rand_per_request"
-    # Mutex-related fixes.
-    new_mutex_decls = count(fixed, "sync.Mutex") - count(buggy, "sync.Mutex")
-    new_lock_calls = count(fixed, ".Lock()") - count(buggy, ".Lock()")
-    if new_mutex_decls > 0:
-        return "mutex_guard"
-    if new_lock_calls > 0:
-        return "complete_locking"
-    # wg.Add moved out of the goroutine body.
-    if _moved_wg_add(buggy, fixed):
-        return "move_wg_add"
-    # Loop-variable privatization: an `x := x` line appears.
-    loop_copy = _added_self_copy(buggy, fixed)
-    if loop_copy == "loop":
-        return "loop_var_copy"
-    # Struct copy: a `new... := *param` dereference copy appears.
-    if _added_deref_copy(buggy, fixed):
-        return "struct_copy"
-    # Local copies / parameter passing inside goroutines.
-    if loop_copy == "local" or _added_goroutine_param(buggy, fixed):
-        return "privatize_local_copy"
-    # Re-declaration: an `=` on a shared variable became `:=` inside a closure.
-    if _assignment_became_declaration(buggy, fixed):
-        return "redeclare"
-    return None
-
-
-def _removed_shared_fixture(buggy: str, fixed: str) -> bool:
-    """A fixture shared across subtests either disappeared or moved inside the
-    ``t.Run`` closure (after ``t.Parallel()``)."""
-    fixed_lines = [line.strip() for line in fixed.splitlines()]
-    buggy_lines = [line.strip() for line in buggy.splitlines()]
-
-    def first_index(lines: list[str], needle: str) -> int:
-        for index, line in enumerate(lines):
-            if needle in line:
-                return index
-        return len(lines)
-
-    buggy_run = first_index(buggy_lines, "t.Run(")
-    fixed_parallel = first_index(fixed_lines, "t.Parallel()")
-    for index, stripped in enumerate(buggy_lines):
-        if ":=" not in stripped or index >= buggy_run:
-            continue
-        if not (".New(" in stripped or "New(" in stripped or "&" in stripped):
-            continue
-        name = stripped.split(":=")[0].strip()
-        if not name or not name.isidentifier():
-            continue
-        # Shape (a): the shared declaration disappeared entirely.
-        if stripped not in fixed_lines and buggy.count(name) > fixed.count(name):
-            return True
-        # Shape (b): the declaration moved inside the parallel subtest closure.
-        if stripped in fixed_lines and fixed_lines.index(stripped) > fixed_parallel < len(fixed_lines):
-            return True
-    return False
-
-
-def _moved_wg_add(buggy: str, fixed: str) -> bool:
-    if ".Add(" not in buggy or ".Add(" not in fixed:
-        return False
-
-    def add_inside_go(text: str) -> bool:
-        lines = text.splitlines()
-        for index, line in enumerate(lines):
-            if ".Add(" in line:
-                context = "\n".join(lines[max(0, index - 3):index])
-                if "go func" in context:
-                    return True
-        return False
-
-    return add_inside_go(buggy) and not add_inside_go(fixed)
-
-
-def _added_self_copy(buggy: str, fixed: str) -> Optional[str]:
-    for line in fixed.splitlines():
-        stripped = line.strip()
-        if ":=" in stripped and stripped not in buggy:
-            left, _, right = stripped.partition(":=")
-            left, right = left.strip(), right.strip()
-            if left and left == right:
-                return "loop"
-            if left.startswith("local") and right and right[0].islower() and right.isidentifier():
-                return "local"
-    return None
-
-
-def _added_deref_copy(buggy: str, fixed: str) -> bool:
-    for line in fixed.splitlines():
-        stripped = line.strip()
-        if ":=" in stripped and stripped not in buggy:
-            _, _, right = stripped.partition(":=")
-            if right.strip().startswith("*"):
-                return True
-    return False
-
-
-def _added_goroutine_param(buggy: str, fixed: str) -> bool:
-    buggy_plain = buggy.count("go func() {") + buggy.count("}()")
-    fixed_param = 0
-    for line in fixed.splitlines():
-        stripped = line.strip()
-        if stripped.startswith("go func(") and not stripped.startswith("go func()"):
-            if "go func(" + stripped[len("go func("):] not in buggy:
-                fixed_param += 1
-    return fixed_param > 0 and buggy_plain > 0
-
-
-def _assignment_became_declaration(buggy: str, fixed: str) -> bool:
-    buggy_lines = {line.strip() for line in buggy.splitlines()}
-    for line in fixed.splitlines():
-        stripped = line.strip()
-        if ":=" in stripped:
-            as_assignment = stripped.replace(":=", "=", 1)
-            if as_assignment in buggy_lines and stripped not in buggy_lines:
-                return True
-    return False
 
 
 __all__ = [
@@ -226,5 +49,4 @@ __all__ = [
     "STRATEGY_REGISTRY",
     "STRATEGY_ORDER",
     "ordered_strategies",
-    "infer_strategy_from_example",
 ]

@@ -5,11 +5,25 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.diagnosis import examples
+from repro.diagnosis.categories import RaceCategory
+from repro.diagnosis.registry import fix_pattern
 from repro.golang import ast_nodes as ast
 from repro.llm.prompt_parser import FixTask
 from repro.llm.strategies.base import FixStrategy, ScopeCode, StrategyPlan
 
 
+@fix_pattern(
+    categories=(
+        RaceCategory.MISSING_SYNCHRONIZATION,
+        RaceCategory.CONCURRENT_MAP_ACCESS,
+        RaceCategory.CONCURRENT_SLICE_ACCESS,
+    ),
+    specificity=50,
+    example_rank=140,
+    description="Introducing a new mutex into a larger aggregate type and guarding all usage points",
+    signature=examples.added_mutex_decl,
+)
 class MutexGuardStrategy(FixStrategy):
     """Introduce a mutex and guard every access to the shared datum.
 
@@ -177,6 +191,13 @@ class MutexGuardStrategy(FixStrategy):
         return True
 
 
+@fix_pattern(
+    categories=(RaceCategory.MISSING_SYNCHRONIZATION,),
+    specificity=75,
+    example_rank=150,
+    description="Managing locks consistently across multiple code regions",
+    signature=examples.added_lock_calls,
+)
 class CompleteLockingStrategy(FixStrategy):
     """Listings 30-32: the type already has a mutex, but some accesses to the
     shared field bypass it; hoist the unguarded reads under the lock."""

@@ -6,11 +6,21 @@ from __future__ import annotations
 import copy
 from typing import List, Optional, Tuple
 
+from repro.diagnosis import examples
+from repro.diagnosis.categories import RaceCategory
+from repro.diagnosis.registry import fix_pattern
 from repro.golang import ast_nodes as ast
 from repro.llm.prompt_parser import FixTask
 from repro.llm.strategies.base import FixStrategy, ScopeCode, StrategyPlan
 
 
+@fix_pattern(
+    categories=(RaceCategory.CONCURRENT_MAP_ACCESS,),
+    specificity=90,
+    example_rank=100,
+    description="Changing data types (map vs sync.Map) and propagating the change to all references",
+    signature=examples.added_sync_map,
+)
 class SyncMapConvertStrategy(FixStrategy):
     """Listing 8: convert a built-in map field to ``sync.Map`` and rewrite every
     map operation (index, assignment, ``delete``, ``range``) accordingly."""
@@ -183,6 +193,13 @@ class SyncMapConvertStrategy(FixStrategy):
         return None
 
 
+@fix_pattern(
+    categories=(RaceCategory.CAPTURE_BY_REFERENCE,),
+    specificity=85,
+    example_rank=110,
+    description="Appropriately placing send/recv on channels instead of sharing variables",
+    signature=examples.added_error_channel,
+)
 class ChannelErrorStrategy(FixStrategy):
     """Listing 10: stop sharing ``err`` across the goroutine boundary by sending
     it over a dedicated buffered error channel."""
@@ -294,6 +311,13 @@ class ChannelErrorStrategy(FixStrategy):
                 case.body.insert(0, recv_err)
 
 
+@fix_pattern(
+    categories=(RaceCategory.OTHERS,),
+    specificity=65,
+    example_rank=180,
+    description="Creating copies of complex data structures to avoid unwanted sharing",
+    signature=examples.added_deref_copy,
+)
 class StructCopyStrategy(FixStrategy):
     """Listing 22: copy the shared struct before mutating it."""
 
@@ -346,6 +370,13 @@ class StructCopyStrategy(FixStrategy):
         return None
 
 
+@fix_pattern(
+    categories=(RaceCategory.PARALLEL_TEST_SUITE,),
+    specificity=95,
+    example_rank=120,
+    description="Privatizing shared fixtures across parallel subtests",
+    signature=examples.isolated_parallel_fixture,
+)
 class ParallelTestIsolationStrategy(FixStrategy):
     """Listing 7: give each parallel subtest its own instance of the shared fixture."""
 

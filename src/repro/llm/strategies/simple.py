@@ -5,11 +5,21 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.diagnosis import examples
+from repro.diagnosis.categories import RaceCategory
+from repro.diagnosis.registry import fix_pattern
 from repro.golang import ast_nodes as ast
 from repro.llm.prompt_parser import FixTask
 from repro.llm.strategies.base import FixStrategy, ScopeCode, StrategyPlan
 
 
+@fix_pattern(
+    categories=(RaceCategory.CAPTURE_BY_REFERENCE,),
+    specificity=60,
+    example_rank=200,
+    description="Re-declaring captured variables inside the goroutine",
+    signature=examples.assignment_became_declaration,
+)
 class RedeclareStrategy(FixStrategy):
     """Listing 1 → Listing 2: re-declare the captured variable inside the goroutine.
 
@@ -75,6 +85,13 @@ class RedeclareStrategy(FixStrategy):
         return False
 
 
+@fix_pattern(
+    categories=(RaceCategory.LOOP_VARIABLE_CAPTURE,),
+    specificity=100,
+    example_rank=170,
+    description="Privatizing captured loop variables",
+    signature=examples.added_loop_self_copy,
+)
 class LoopVarCopyStrategy(FixStrategy):
     """Listing 11: privatize a range variable captured by goroutines (``x := x``)."""
 
@@ -146,6 +163,13 @@ class LoopVarCopyStrategy(FixStrategy):
         return captured
 
 
+@fix_pattern(
+    categories=(RaceCategory.CAPTURE_BY_REFERENCE,),
+    specificity=55,
+    example_rank=190,
+    description="Creating per-goroutine copies / passing values as parameters",
+    signature=examples.privatized_local_copy,
+)
 class PrivatizeLocalCopyStrategy(FixStrategy):
     """Listing 5 / Listing 14: give each goroutine its own copy of the shared value."""
 
@@ -222,6 +246,13 @@ class PrivatizeLocalCopyStrategy(FixStrategy):
         return clone.render() if changed else None
 
 
+@fix_pattern(
+    categories=(RaceCategory.MISSING_SYNCHRONIZATION,),
+    specificity=110,
+    example_rank=160,
+    description="Relocating WaitGroup Add/Done/Wait to restore the intended ordering",
+    signature=examples.moved_wg_add,
+)
 class MoveWaitGroupAddStrategy(FixStrategy):
     """Listing 6: move ``wg.Add`` from inside the goroutine to before the ``go``."""
 
@@ -270,6 +301,13 @@ class MoveWaitGroupAddStrategy(FixStrategy):
         return False
 
 
+@fix_pattern(
+    categories=(RaceCategory.OTHERS,),
+    specificity=70,
+    example_rank=130,
+    description="Creating per-request instances of thread-unsafe library state",
+    signature=examples.added_fresh_rand_source,
+)
 class RandPerRequestStrategy(FixStrategy):
     """Listing 12: create a fresh ``rand.Source`` per request instead of sharing one."""
 

@@ -9,7 +9,7 @@ from repro.core.race_info import CodeItem
 from repro.core.review import ReviewerModel
 from repro.core.validator import FixValidator
 from repro.corpus.generator import generate_cases
-from repro.core.categories import RaceCategory
+from repro.diagnosis.categories import RaceCategory
 from repro.errors import PatchError
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DrFix, DrFixConfig, ExampleDatabase
-from repro.core.categories import RaceCategory
+from repro.diagnosis.categories import RaceCategory
 from repro.corpus.generator import generate_cases
 from repro.runtime.harness import run_package_tests
 

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.config import DrFixConfig, FixLocation, FixScope
-from repro.core.race_info import RaceInfoExtractor, clean_variable_name, resolve_function
+from repro.core.race_info import RaceInfoExtractor, resolve_function
+from repro.diagnosis import clean_variable_name
 from repro.errors import ConfigError
 from repro.golang.parser import parse_file
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.categories import RaceCategory, UnfixedReason, all_categories
+from repro.diagnosis.categories import RaceCategory, UnfixedReason, all_categories
 from repro.corpus.generator import CorpusConfig, CorpusGenerator, generate_cases
 from repro.corpus.ground_truth import Difficulty
 from repro.corpus.noise import make_vocabulary, noise_helper_functions, noise_struct

@@ -1,0 +1,160 @@
+"""Tests for the diagnosis layer: report classification, the fix-pattern
+registry, and example-pair inference."""
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.templates import TEMPLATE_REGISTRY
+from repro.diagnosis import (
+    Diagnosis,
+    RaceCategory,
+    RaceDiagnoser,
+    all_patterns,
+    category_from_value,
+    clean_variable_name,
+    fix_pattern,
+    get_pattern,
+    infer_pattern_from_example,
+    pattern_names,
+    patterns_for_category,
+)
+from repro.diagnosis.registry import FixPattern
+
+
+# ---------------------------------------------------------------------------
+# Report diagnosis
+# ---------------------------------------------------------------------------
+
+
+def _fixable_cases(seed: int, noise_level: int):
+    for templates in TEMPLATE_REGISTRY.values():
+        for template in templates:
+            yield template(seed, noise_level)
+
+
+class TestReportDiagnosis:
+    @pytest.mark.parametrize("seed,noise", [(321, 1), (97, 2)])
+    def test_every_fixable_template_diagnosis_agrees_with_ground_truth(self, seed, noise):
+        """The acceptance bar: each corpus report maps to exactly one Diagnosis
+        whose category matches the template's ground-truth category."""
+        for case in _fixable_cases(seed, noise):
+            report = case.race_report(runs=12)
+            assert report is not None, f"{case.case_id} did not reproduce"
+            diagnosis = RaceDiagnoser(case.package).diagnose(report)
+            assert isinstance(diagnosis, Diagnosis)
+            assert diagnosis.category is case.category, (
+                f"{case.case_id}: diagnosed {diagnosis.category.value}, "
+                f"ground truth {case.category.value} ({diagnosis.evidence})"
+            )
+
+    def test_generated_corpus_fixable_cases_agree(self):
+        """Corpus-wide: both splits of a generated dataset diagnose correctly."""
+        dataset = CorpusGenerator(
+            CorpusConfig(db_examples=12, eval_fixable=14, eval_unfixable=0, seed=19)
+        ).generate()
+        for case in dataset.all_cases():
+            report = case.race_report(runs=12)
+            assert report is not None, f"{case.case_id} did not reproduce"
+            diagnosis = RaceDiagnoser(case.package).diagnose(report)
+            assert diagnosis.category is case.category, case.case_id
+
+    def test_diagnosis_carries_symbols_scopes_and_confidence(self):
+        case = TEMPLATE_REGISTRY[RaceCategory.CONCURRENT_MAP_ACCESS][0](44, 1)
+        report = case.race_report(runs=12)
+        diagnosis = RaceDiagnoser(case.package).diagnose(report)
+        assert diagnosis.category is RaceCategory.CONCURRENT_MAP_ACCESS
+        assert diagnosis.symbols  # involved functions
+        assert case.racy_file in diagnosis.scopes
+        assert 0.0 < diagnosis.confidence <= 1.0
+        assert diagnosis.access_pattern in ("read-write", "write-write", "read-read")
+        assert diagnosis.evidence
+
+    def test_summary_lists_candidate_patterns(self):
+        case = TEMPLATE_REGISTRY[RaceCategory.LOOP_VARIABLE_CAPTURE][0](45, 1)
+        report = case.race_report(runs=12)
+        diagnosis = RaceDiagnoser(case.package).diagnose(report)
+        assert "loop_var_copy" in diagnosis.candidate_patterns
+        summary = diagnosis.summary()
+        assert "loop-variable-capture" in summary and "candidate patterns" in summary
+
+    def test_clean_variable_name(self):
+        assert clean_variable_name("Scanner.shards(map)") == "shards"
+        assert clean_variable_name("limit") == "limit"
+        assert clean_variable_name("map[string]int(map)") == ""
+        assert clean_variable_name("") == ""
+
+
+# ---------------------------------------------------------------------------
+# Fix-pattern registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_detection_order_is_by_specificity(self):
+        patterns = all_patterns()
+        specificities = [p.specificity for p in patterns]
+        assert specificities == sorted(specificities, reverse=True)
+        assert pattern_names() == [p.name for p in patterns]
+
+    def test_new_patterns_are_registered(self):
+        names = set(pattern_names())
+        assert {"atomic_counter", "rwmutex_read_lock", "once_lazy_init"} <= names
+
+    def test_get_pattern_and_strategy_construction(self):
+        pattern = get_pattern("atomic_counter")
+        assert isinstance(pattern, FixPattern)
+        strategy = pattern.make_strategy()
+        assert strategy.name == "atomic_counter"
+        with pytest.raises(KeyError):
+            get_pattern("no_such_pattern")
+
+    def test_patterns_for_category(self):
+        missing = [p.name for p in patterns_for_category(RaceCategory.MISSING_SYNCHRONIZATION)]
+        assert "mutex_guard" in missing and "atomic_counter" in missing
+        assert "loop_var_copy" not in missing
+        loop = [p.name for p in patterns_for_category(RaceCategory.LOOP_VARIABLE_CAPTURE)]
+        assert loop == ["loop_var_copy"]
+
+    def test_every_pattern_has_description_and_category(self):
+        for pattern in all_patterns():
+            assert pattern.description, pattern.name
+            assert pattern.categories, pattern.name
+
+    def test_duplicate_registration_is_rejected(self):
+        existing = get_pattern("mutex_guard")
+
+        with pytest.raises(ValueError):
+            @fix_pattern(name="mutex_guard", categories=existing.categories)
+            class Impostor:  # noqa: N801 - deliberately minimal
+                name = "mutex_guard"
+
+    def test_category_from_value(self):
+        assert category_from_value("missing-synchronization") is RaceCategory.MISSING_SYNCHRONIZATION
+        assert category_from_value("not-a-category") is None
+
+
+# ---------------------------------------------------------------------------
+# Example inference (registry-driven)
+# ---------------------------------------------------------------------------
+
+
+class TestExampleInference:
+    def test_new_patterns_are_inferred_from_their_templates(self):
+        from repro.corpus.templates.advanced_sync import (
+            make_atomic_counter_case,
+            make_once_init_case,
+            make_rwmutex_read_case,
+        )
+
+        for maker, expected in (
+            (make_atomic_counter_case, "atomic_counter"),
+            (make_rwmutex_read_case, "rwmutex_read_lock"),
+            (make_once_init_case, "once_lazy_init"),
+        ):
+            case = maker(31, 1)
+            assert infer_pattern_from_example(case.racy_source(), case.fixed_source()) == expected
+
+    def test_empty_and_identical_examples_infer_nothing(self):
+        assert infer_pattern_from_example("", "") is None
+        code = "package p\nfunc F() {}\n"
+        assert infer_pattern_from_example(code, code) is None

@@ -155,6 +155,7 @@ class TestExperimentTables:
 
     def test_all_experiment_tables_render_in_one_report(self, context):
         tables = all_experiment_tables(context)
-        assert len(tables) == 12
+        assert len(tables) == 13
         report = render_report(tables)
         assert "Figure 3" in report and "RQ1" in report and "Table 7" in report
+        assert "Diagnosis layer" in report

@@ -8,16 +8,21 @@ from repro.corpus.templates.capture_by_ref import (
     make_err_capture_case,
     make_limit_capture_case,
 )
+from repro.corpus.templates.advanced_sync import (
+    make_atomic_counter_case,
+    make_once_init_case,
+    make_rwmutex_read_case,
+)
 from repro.corpus.templates.concurrent_map import make_shard_map_case
 from repro.corpus.templates.loop_var import make_loop_var_case
 from repro.corpus.templates.missing_sync import make_counter_case, make_waitgroup_add_case
 from repro.corpus.templates.parallel_test import make_shared_hash_case
 from repro.corpus.templates.others import make_config_copy_case, make_rand_source_case
+from repro.diagnosis import infer_pattern_from_example
 from repro.llm.prompt_parser import FixTask
 from repro.llm.strategies import (
     STRATEGY_ORDER,
     STRATEGY_REGISTRY,
-    infer_strategy_from_example,
     ordered_strategies,
     parse_scope,
 )
@@ -193,18 +198,21 @@ class TestExampleInference:
             (make_config_copy_case, "struct_copy"),
             (make_rand_source_case, "rand_per_request"),
             (make_shared_hash_case, "parallel_test_isolation"),
+            (make_atomic_counter_case, "atomic_counter"),
+            (make_rwmutex_read_case, "rwmutex_read_lock"),
+            (make_once_init_case, "once_lazy_init"),
         ],
     )
     def test_demonstrated_strategy_is_inferred_from_example(self, maker, expected):
         case = maker(31, 1)
-        assert infer_strategy_from_example(case.racy_source(), case.fixed_source()) == expected
+        assert infer_pattern_from_example(case.racy_source(), case.fixed_source()) == expected
 
     def test_empty_example_infers_nothing(self):
-        assert infer_strategy_from_example("", "") is None
+        assert infer_pattern_from_example("", "") is None
 
     def test_identical_code_infers_nothing(self):
         code = "package p\nfunc F() {}\n"
-        assert infer_strategy_from_example(code, code) is None
+        assert infer_pattern_from_example(code, code) is None
 
     def test_inference_accuracy_over_every_fixable_template(self):
         hits = 0
@@ -213,7 +221,7 @@ class TestExampleInference:
             for template in templates:
                 case = template(97, 1)
                 total += 1
-                inferred = infer_strategy_from_example(case.racy_source(), case.fixed_source())
+                inferred = infer_pattern_from_example(case.racy_source(), case.fixed_source())
                 if inferred == case.fix_strategy:
                     hits += 1
         assert hits / total >= 0.85
