@@ -1,0 +1,266 @@
+"""Service load benchmark: closed-loop clients against the serving layer.
+
+Measures the serving subsystem end to end — admission, batching, the
+fingerprint result cache — and emits the ``BENCH_service.json`` artifact that
+gives the perf trajectory its first *serving* datapoint:
+
+* **cold** — every representative corpus package served once from an empty
+  cache (p50/p95 latency, sustained throughput);
+* **warm** — the identical packages resubmitted repeatedly (the
+  repeated-submission workload); warm hits skip the scheduler entirely, so
+  the p50 must be at least an order of magnitude below cold;
+* **load curve** — closed-loop client counts swept over the warm workload
+  (offered vs sustained throughput; with a closed loop they diverge only when
+  admission control rejects);
+* **admission** — a burst of cold, distinct packages floods a deliberately
+  tiny queue; the overflow must come back as structured ``overloaded``
+  responses, not latency collapse or memory growth.
+
+Run standalone to (re)generate the artifact::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py \
+        --output BENCH_service.json
+
+or as a pytest smoke (used by the CI ``service-smoke`` job)::
+
+    python -m pytest benchmarks/bench_service_load.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import DrFixConfig  # noqa: E402
+from repro.corpus.generator import CorpusConfig, CorpusGenerator  # noqa: E402
+from repro.runtime.harness import GoFile, GoPackage  # noqa: E402
+from repro.service import DetectRequest, DrFixService  # noqa: E402
+from repro.service.metrics import latency_percentile  # noqa: E402
+
+RUNS_PER_REQUEST = 8
+WARM_REPEATS = 5
+CLIENT_SWEEP = (1, 2, 4)
+FLOOD_REQUESTS = 24
+FLOOD_QUEUE_DEPTH = 4
+
+
+def _representative_packages(dataset):
+    """One package per race category (the corpus templates), stable order."""
+    picks = {}
+    for case in dataset.all_cases():
+        picks.setdefault(str(case.category), case.package)
+    return list(picks.values())
+
+
+def _closed_loop(service, requests, clients):
+    """Serve ``requests`` through ``clients`` closed-loop client threads.
+
+    Each client pops the next request, submits it, and blocks for the
+    response before taking more work.  Returns (responses, wall_seconds).
+    """
+    work = list(requests)
+    responses = []
+    lock = threading.Lock()
+
+    def client():
+        while True:
+            with lock:
+                if not work:
+                    return
+                request = work.pop(0)
+            response = service.call(request, timeout=600)
+            with lock:
+                responses.append(response)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return responses, wall
+
+
+def _phase_stats(responses, wall):
+    ok = [r for r in responses if r.ok]
+    latencies = [r.duration_ms for r in ok]
+    return {
+        "requests": len(responses),
+        "served": len(ok),
+        "p50_ms": round(latency_percentile(latencies, 0.50), 4),
+        "p95_ms": round(latency_percentile(latencies, 0.95), 4),
+        "throughput_rps": round(len(ok) / wall, 3) if wall > 0 else 0.0,
+        "cached": sum(1 for r in ok if r.cached),
+    }
+
+
+def _flood_packages(count):
+    """Distinct trivial packages: cheap to mint, never cache-deduplicated."""
+    packages = []
+    for index in range(count):
+        source = (f"package flood\n\nfunc Value{index}() int {{\n"
+                  f"\treturn {index}\n}}\n")
+        test = (f"package flood\n\nimport \"testing\"\n\n"
+                f"func TestValue{index}(t *testing.T) {{\n"
+                f"\tif Value{index}() != {index} {{\n"
+                f"\t\tt.Errorf(\"wrong\")\n\t}}\n}}\n")
+        packages.append(GoPackage(name="flood", files=[
+            GoFile("lib.go", source), GoFile("lib_test.go", test),
+        ]))
+    return packages
+
+
+def run_benchmark(scale: float = 0.25, clients: int = 2,
+                  warm_repeats: int = WARM_REPEATS) -> dict:
+    dataset = CorpusGenerator(CorpusConfig().scaled(scale)).generate()
+    packages = _representative_packages(dataset)
+    config = DrFixConfig(model="gpt-4o")
+
+    report: dict = {
+        "schema": "drfix-bench-service/1",
+        "workload": {
+            "corpus_scale": scale,
+            "packages": len(packages),
+            "runs_per_request": RUNS_PER_REQUEST,
+            "warm_repeats": warm_repeats,
+            "clients": clients,
+            "client_sweep": list(CLIENT_SWEEP),
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+    def requests():
+        return [DetectRequest(package=package, runs=RUNS_PER_REQUEST)
+                for package in packages]
+
+    with DrFixService(config, database=None, max_queue_depth=256,
+                      max_in_flight=4) as service:
+        # Phase 1 — cold: every package served once from an empty cache.
+        cold_responses, cold_wall = _closed_loop(service, requests(), clients)
+        report["cold"] = _phase_stats(cold_responses, cold_wall)
+
+        # Phase 2 — warm: the repeated-submission workload.
+        warm_work = requests() * warm_repeats
+        warm_responses, warm_wall = _closed_loop(service, warm_work, clients)
+        report["warm"] = _phase_stats(warm_responses, warm_wall)
+
+        cold_p50 = report["cold"]["p50_ms"]
+        warm_p50 = report["warm"]["p50_ms"]
+        report["warm_speedup_p50"] = round(cold_p50 / warm_p50, 2) if warm_p50 else None
+        report["cache"] = {
+            "hits": service.cache.hits,
+            "misses": service.cache.misses,
+            "hit_rate": round(service.cache.hit_rate(), 4),
+        }
+
+        # Phase 3 — load curve over the warm workload.
+        curve = []
+        for client_count in CLIENT_SWEEP:
+            sweep_responses, sweep_wall = _closed_loop(
+                service, requests() * warm_repeats, client_count)
+            served = sum(1 for r in sweep_responses if r.ok)
+            rejected = len(sweep_responses) - served
+            offered = len(sweep_responses) / sweep_wall if sweep_wall > 0 else 0.0
+            curve.append({
+                "clients": client_count,
+                "offered_rps": round(offered, 3),
+                "sustained_rps": round(served / sweep_wall, 3) if sweep_wall > 0 else 0.0,
+                "served": served,
+                "rejected": rejected,
+            })
+        report["load_curve"] = curve
+        report["service_metrics"] = service.metrics().as_dict()
+
+    # Phase 4 — admission control: flood a tiny queue with cold work.
+    with DrFixService(config, database=None, max_queue_depth=FLOOD_QUEUE_DEPTH,
+                      max_in_flight=1) as flood_service:
+        tickets = [flood_service.submit(DetectRequest(package=package, runs=6))
+                   for package in _flood_packages(FLOOD_REQUESTS)]
+        flood_responses = [ticket.result(timeout=600) for ticket in tickets]
+        served = sum(1 for r in flood_responses if r.ok)
+        rejected = sum(1 for r in flood_responses if r.status.value == "overloaded")
+        report["admission"] = {
+            "submitted": len(flood_responses),
+            "queue_depth": FLOOD_QUEUE_DEPTH,
+            "served": served,
+            "rejected": rejected,
+        }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke (CI): the serving layer must hold its headline properties.
+# ---------------------------------------------------------------------------
+
+
+def test_bench_service_load_smoke():
+    import os
+
+    artifact = os.environ.get("DRFIX_SERVICE_BENCH_ARTIFACT", "")
+    if artifact and Path(artifact).exists():
+        report = json.loads(Path(artifact).read_text())
+    else:
+        report = run_benchmark(scale=0.05, warm_repeats=3)
+    assert report["cold"]["served"] == report["cold"]["requests"]
+    assert report["warm"]["served"] == report["warm"]["requests"]
+    assert report["cold"]["throughput_rps"] > 0
+    assert report["warm"]["throughput_rps"] > report["cold"]["throughput_rps"]
+    # The acceptance bar: warm hits are at least 10× faster than cold serves
+    # on the repeated-submission workload.
+    assert report["warm_speedup_p50"] >= 10, report
+    assert report["cache"]["hit_rate"] > 0
+    # Admission control engaged under the flood and everything terminated.
+    admission = report["admission"]
+    assert admission["served"] + admission["rejected"] == admission["submitted"]
+    assert admission["rejected"] > 0
+    assert all(point["sustained_rps"] > 0 for point in report["load_curve"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--output", default="BENCH_service.json",
+                        help="artifact path (default: ./BENCH_service.json)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="corpus scale (default 0.25 = all template families)")
+    parser.add_argument("--clients", type=int, default=2,
+                        help="closed-loop clients for the cold/warm phases")
+    parser.add_argument("--warm-repeats", type=int, default=WARM_REPEATS,
+                        help=f"warm passes over the package set (default {WARM_REPEATS})")
+    args = parser.parse_args(argv)
+    report = run_benchmark(scale=args.scale, clients=args.clients,
+                           warm_repeats=args.warm_repeats)
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(f"cold:  p50 {report['cold']['p50_ms']} ms, "
+          f"p95 {report['cold']['p95_ms']} ms, "
+          f"{report['cold']['throughput_rps']} req/s")
+    print(f"warm:  p50 {report['warm']['p50_ms']} ms, "
+          f"p95 {report['warm']['p95_ms']} ms, "
+          f"{report['warm']['throughput_rps']} req/s")
+    print(f"warm-hit speedup (p50): {report['warm_speedup_p50']}x, "
+          f"cache hit rate {report['cache']['hit_rate']:.0%}")
+    print(f"admission: {report['admission']['rejected']}/"
+          f"{report['admission']['submitted']} rejected at queue depth "
+          f"{report['admission']['queue_depth']}")
+    for point in report["load_curve"]:
+        print(f"  {point['clients']} client(s): offered {point['offered_rps']} req/s, "
+              f"sustained {point['sustained_rps']} req/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ Top-level layout:
 * :mod:`repro.llm`        — fix strategies and the simulated LLM profiles;
 * :mod:`repro.corpus`     — synthetic racy-Go corpus generator (the monorepo substitute);
 * :mod:`repro.evaluation` — the per-table/figure experiment harness;
+* :mod:`repro.service`    — Dr.Fix as a service: async batch serving with
+  admission control, a fingerprint result cache, and HTTP/stdio frontends;
 * :mod:`repro.cli`        — the ``drfix`` command-line interface.
 
 Quick start::
@@ -27,7 +29,7 @@ Quick start::
     print(outcome.fixed, outcome.strategy)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.core.config import DrFixConfig, FixLocation, FixScope
 from repro.core.database import ExampleDatabase
@@ -35,6 +37,13 @@ from repro.core.pipeline import DrFix, FixOutcome
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.evaluation.runner import EvaluationRunner, ExperimentContext
 from repro.runtime.harness import GoFile, GoPackage, run_package_tests
+from repro.service import (
+    DetectRequest,
+    DrFixService,
+    FixRequest,
+    ServiceMetrics,
+    ServiceResponse,
+)
 
 __all__ = [
     "__version__",
@@ -51,4 +60,9 @@ __all__ = [
     "GoFile",
     "GoPackage",
     "run_package_tests",
+    "DetectRequest",
+    "DrFixService",
+    "FixRequest",
+    "ServiceMetrics",
+    "ServiceResponse",
 ]

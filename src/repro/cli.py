@@ -6,7 +6,9 @@ Subcommands:
 * ``drfix detect``     — run the race detector over a directory of ``.go`` files;
 * ``drfix fix``        — run the full pipeline on a directory of ``.go`` files;
 * ``drfix evaluate``   — regenerate every table and figure of the paper;
-* ``drfix bench``      — measure the parallel/cached evaluation engine's speedup.
+* ``drfix bench``      — measure the parallel/cached evaluation engine's speedup;
+* ``drfix serve``      — run Dr.Fix as a service (JSON over HTTP or stdio);
+* ``drfix version``    — report the installed package version (also ``--version``).
 
 ``evaluate`` and ``bench`` accept ``--jobs N`` (parallel case evaluation; also
 settable via ``DRFIX_JOBS``) and ``--cache-dir DIR`` (persistent run store that
@@ -47,6 +49,59 @@ from repro.evaluation.reporting import render_report
 from repro.evaluation.runner import EvaluationRunner, ExperimentContext
 from repro.evaluation.store import RunStore, corpus_fingerprint
 from repro.runtime.harness import GoFile, GoPackage, run_package_tests
+from repro.service import DrFixService, ServiceHTTPServer, serve_stdio
+
+
+def drfix_version() -> str:
+    """The installed distribution's version, falling back to the source tree.
+
+    ``importlib.metadata`` answers for a ``pip install``-ed checkout; a bare
+    ``PYTHONPATH=src`` checkout (no dist-info) falls back to
+    ``repro.__version__``.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("drfix-repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+# ---------------------------------------------------------------------------
+# Shared argument validation
+# ---------------------------------------------------------------------------
+#
+# Every subcommand that accepts worker/run counts validates them at the
+# argparse boundary with the same types, so a bad value fails with one clear
+# message instead of deep inside the executor or the harness.
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (runs, queue bounds)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def jobs_count(text: str) -> int:
+    """Argparse type for ``--jobs``: positive worker count or negative for
+    one worker per CPU; zero is rejected (it is the "unset" sentinel)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value == 0:
+        raise argparse.ArgumentTypeError(
+            "--jobs must not be 0; use a positive worker count, or a negative "
+            "value for one worker per CPU")
+    return value
 
 
 def _load_package(directory: str) -> GoPackage:
@@ -143,10 +198,13 @@ def cmd_fix(args: argparse.Namespace) -> int:
     if not args.no_rag:
         corpus = CorpusGenerator(CorpusConfig().scaled(args.scale)).generate()
         database = ExampleDatabase.from_cases(corpus.db_examples, config)
-    pipeline = DrFix(package, config=config, database=database, jobs=args.jobs)
     exit_code = 1
     for report in detection.reports:
         print(f"== fixing race {report.bug_hash()} on `{report.variable}` ==")
+        # A fresh pipeline per report (fresh generator/validator counters):
+        # the same stateless-per-request semantics the serving layer uses, so
+        # `drfix serve` responses stay bit-identical to this command.
+        pipeline = DrFix(package, config=config, database=database, jobs=args.jobs)
         outcome = pipeline.fix_report(report, baseline_hashes=detection.race_hashes())
         if outcome.fixed and outcome.patch is not None:
             exit_code = 0
@@ -243,11 +301,58 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_version(args: argparse.Namespace) -> int:
+    print(f"drfix {drfix_version()}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run Dr.Fix as a service: JSON over HTTP, or line-delimited JSON stdio."""
+    config = DrFixConfig(model=args.model)
+    if args.engine:
+        config = config.with_engine(args.engine)
+    database: Optional[ExampleDatabase] = None
+    if not args.no_rag:
+        corpus = CorpusGenerator(CorpusConfig().scaled(args.scale)).generate()
+        database = ExampleDatabase.from_cases(corpus.db_examples, config)
+    service = DrFixService(
+        config,
+        database=database,
+        max_queue_depth=args.max_queue,
+        max_in_flight=args.max_in_flight,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_capacity=args.cache_capacity,
+    )
+    try:
+        if args.mode == "stdio":
+            served = serve_stdio(service, sys.stdin, sys.stdout,
+                                 default_runs=args.runs)
+            print(f"drfix serve: {served} request(s) served; "
+                  f"{service.metrics().render()}", file=sys.stderr)
+            return 0
+        server = ServiceHTTPServer(service, (args.host, args.port),
+                                   verbose=args.verbose, default_runs=args.runs)
+        print(f"drfix serve: listening on http://{args.host}:{server.port} "
+              f"(POST /detect, POST /fix, GET /metrics, GET /healthz)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            print(f"\ndrfix serve: {service.metrics().render()}")
+        finally:
+            server.server_close()
+        return 0
+    finally:
+        service.shutdown(wait=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="drfix",
         description="Reproduction of Dr.Fix: Automatically Fixing Data Races at Industry Scale",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"drfix {drfix_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     corpus = sub.add_parser("corpus", help="generate the synthetic corpus")
@@ -258,8 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect = sub.add_parser("detect", help="run the race detector over a directory of .go files")
     detect.add_argument("path")
-    detect.add_argument("--runs", type=int, default=12)
-    detect.add_argument("--jobs", type=int, default=1,
+    detect.add_argument("--runs", type=positive_int, default=12)
+    detect.add_argument("--jobs", type=jobs_count, default=1,
                         help="parallel interleaving-run workers (negative = all CPUs)")
     detect.add_argument("--executor", choices=["serial", "thread", "process"],
                         default=None, help="execution backend for the runs")
@@ -273,11 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
     fix = sub.add_parser("fix", help="run the Dr.Fix pipeline over a directory of .go files")
     fix.add_argument("path")
     fix.add_argument("--model", default="gpt-4o", help="model profile to use")
-    fix.add_argument("--runs", type=int, default=12, help="detection runs")
+    fix.add_argument("--runs", type=positive_int, default=12, help="detection runs")
     fix.add_argument("--scale", type=float, default=0.25, help="example-database scale")
     fix.add_argument("--no-rag", action="store_true", help="disable retrieval-augmented generation")
     fix.add_argument("--write", action="store_true", help="write validated patches in place")
-    fix.add_argument("--jobs", type=int, default=None,
+    fix.add_argument("--jobs", type=jobs_count, default=None,
                      help="concurrent candidate-validation workers (default: DRFIX_JOBS or 1)")
     fix.add_argument("--adaptive-runs", action="store_true",
                      help="derive the validator's run count from a detection-"
@@ -311,11 +416,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(bench)
     bench.set_defaults(func=cmd_bench)
 
+    serve = sub.add_parser(
+        "serve", help="run Dr.Fix as a service (JSON over HTTP, or stdio)"
+    )
+    serve.add_argument("--mode", choices=["http", "stdio"], default="http",
+                       help="transport: HTTP server (default) or line-delimited "
+                            "JSON on stdin/stdout")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="HTTP port (0 picks a free port)")
+    serve.add_argument("--model", default="gpt-4o", help="model profile to serve with")
+    serve.add_argument("--scale", type=float, default=0.25,
+                       help="example-database scale (ignored with --no-rag)")
+    serve.add_argument("--no-rag", action="store_true",
+                       help="serve without the retrieval database")
+    serve.add_argument("--runs", type=positive_int, default=10,
+                       help="default detection runs per request")
+    serve.add_argument("--jobs", type=jobs_count, default=None,
+                       help="batch worker count (default: DRFIX_JOBS or 1; "
+                            "negative = all CPUs)")
+    serve.add_argument("--executor", choices=["serial", "thread", "process"],
+                       default="thread", help="batch execution backend")
+    serve.add_argument("--max-queue", type=positive_int, default=64,
+                       help="admission-control queue bound (default 64); "
+                            "submissions past it get a structured 'overloaded' "
+                            "response")
+    serve.add_argument("--max-in-flight", type=positive_int, default=4,
+                       help="max requests dispatched per batch (default 4)")
+    serve.add_argument("--cache-capacity", type=positive_int, default=256,
+                       help="fingerprint result-cache entries (default 256)")
+    serve.add_argument("--engine", choices=["compiled", "tree"], default=None,
+                       help="interpreter engine for served runs")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(func=cmd_serve)
+
+    version = sub.add_parser("version", help="print the installed version")
+    version.set_defaults(func=cmd_version)
+
     return parser
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=int, default=None,
+    parser.add_argument("--jobs", type=jobs_count, default=None,
                         help="parallel case-evaluation workers "
                              "(default: DRFIX_JOBS or 1; negative = all CPUs)")
     parser.add_argument("--executor", choices=["serial", "thread", "process"],

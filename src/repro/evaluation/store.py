@@ -26,7 +26,6 @@ workers never observe a torn entry.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import os
 from pathlib import Path
@@ -38,6 +37,8 @@ from repro.core.pipeline import FixAttempt, FixOutcome
 from repro.core.review import ReviewDecision
 from repro.corpus.ground_truth import RaceCase
 from repro.diagnosis import Diagnosis, category_from_value
+from repro.fingerprint import EXECUTION_ONLY_FIELDS, corpus_fingerprint
+from repro.fingerprint import config_fingerprint as _shared_config_fingerprint
 from repro.runtime.harness import GoFile, GoPackage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports store)
@@ -46,56 +47,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports store
 #: Bump when the serialised shape of a cache entry changes.
 STORE_VERSION = 2
 
-#: DrFixConfig fields that change how fast a run executes but not what it
-#: computes; they are excluded from the fingerprint so a parallel run hits the
-#: cache entries a serial run wrote.  ``harness_jobs`` qualifies because the
-#: harness merges its per-seed run results in submission order, making the
-#: worker count invisible in the output.  ``engine`` qualifies because the
-#: compiled and tree engines are bit-identical (enforced by the corpus-wide
-#: differential test), so the same results are produced either way.
-EXECUTION_ONLY_FIELDS = frozenset({"jobs", "harness_jobs", "engine"})
-
 
 # ---------------------------------------------------------------------------
 # Fingerprints
 # ---------------------------------------------------------------------------
-
-
-def _canonical(value: Any) -> Any:
-    """Reduce a config value to a JSON-stable canonical form."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: _canonical(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if hasattr(value, "value") and value.__class__.__module__ != "builtins":
-        return _canonical(value.value)  # enums
-    return value
-
-
-def _digest(payload: Dict[str, Any]) -> str:
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.blake2b(text.encode("utf-8"), digest_size=10).hexdigest()
+#
+# The canonicalisation and digesting live in the layer-neutral
+# :mod:`repro.fingerprint` (the service result cache keys by the same
+# discipline); the store folds its format version into the config fingerprint
+# so a serialisation bump cleanly invalidates old entries.
 
 
 def config_fingerprint(config: DrFixConfig) -> str:
     """A stable hash of every result-affecting configuration field."""
-    payload = {
-        name: value
-        for name, value in _canonical(config).items()
-        if name not in EXECUTION_ONLY_FIELDS
-    }
-    payload["__store_version__"] = STORE_VERSION
-    return _digest(payload)
-
-
-def corpus_fingerprint(corpus_config: Any) -> str:
-    """A stable hash of the corpus configuration (used as the store namespace)."""
-    return _digest({"corpus": _canonical(corpus_config)})
+    return _shared_config_fingerprint(config, version=STORE_VERSION)
 
 
 # ---------------------------------------------------------------------------

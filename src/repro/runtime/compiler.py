@@ -1647,40 +1647,65 @@ class ProgramCache:
 
     Shared by every harness in the process (and by every thread worker);
     process-pool workers each warm their own copy, which still amortizes the
-    build across the many runs of one worker's chunk."""
+    build across the many runs of one worker's chunk.
+
+    Builds are **single-flight**: when several threads miss on the same
+    fingerprint at once (the serving layer makes this the common case — a
+    warm-up burst of identical packages lands on every worker simultaneously),
+    exactly one thread parses and lowers while the others wait on a
+    per-fingerprint event and then take the cache hit.  Without this, N racing
+    threads would each pay the full build and the last insert would win."""
 
     def __init__(self, capacity: int = 256):
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, BuiltPackage]" = OrderedDict()
+        #: In-flight builds: fingerprint → event set when the build lands.
+        self._building: dict = {}
         self.hits = 0
         self.misses = 0
 
     def get_or_build(self, package) -> BuiltPackage:
         fingerprint = package_fingerprint(package)
-        with self._lock:
-            entry = self._entries.get(fingerprint)
-            if entry is not None and entry.stdlib_generation == stdlib.generation():
-                self._entries.move_to_end(fingerprint)
-                self.hits += 1
-                return entry
-            self.misses += 1
-        # Sample the stdlib generation before lowering: closures freeze
-        # member lookups, so a registration racing this build must invalidate
-        # the entry, not be masked by a post-build generation read.
-        generation = stdlib.generation()
-        files: List[ast.File] = []
-        errors: List[str] = []
-        for file in package.files:
-            try:
-                files.append(parse_file(file.source, file.name))
-            except GoSyntaxError as exc:
-                errors.append(str(exc))
-        entry = BuiltPackage(fingerprint, files, errors, generation)
-        with self._lock:
-            self._entries[fingerprint] = entry
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+        while True:
+            with self._lock:
+                entry = self._entries.get(fingerprint)
+                if entry is not None and entry.stdlib_generation == stdlib.generation():
+                    self._entries.move_to_end(fingerprint)
+                    self.hits += 1
+                    return entry
+                pending = self._building.get(fingerprint)
+                if pending is None:
+                    # This thread builds; racers wait on the event below.
+                    self._building[fingerprint] = threading.Event()
+                    self.misses += 1
+                    break
+            # Another thread is building this fingerprint: wait for it to
+            # land, then loop back to take the hit (or rebuild if a stdlib
+            # registration invalidated the fresh entry in the meantime).
+            pending.wait()
+        try:
+            # Sample the stdlib generation before lowering: closures freeze
+            # member lookups, so a registration racing this build must
+            # invalidate the entry, not be masked by a post-build read.
+            generation = stdlib.generation()
+            files: List[ast.File] = []
+            errors: List[str] = []
+            for file in package.files:
+                try:
+                    files.append(parse_file(file.source, file.name))
+                except GoSyntaxError as exc:
+                    errors.append(str(exc))
+            entry = BuiltPackage(fingerprint, files, errors, generation)
+            with self._lock:
+                self._entries[fingerprint] = entry
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+        finally:
+            with self._lock:
+                event = self._building.pop(fingerprint, None)
+            if event is not None:
+                event.set()
         return entry
 
     def clear(self) -> None:

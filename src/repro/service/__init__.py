@@ -1,0 +1,52 @@
+"""Layer 7 — Dr.Fix as a service.
+
+An in-process async serving layer over the pipeline: bounded admission,
+batch scheduling through the shared executor substrate, a fingerprint-keyed
+result cache, service metrics, and stdlib-only HTTP/stdio frontends.  See
+``docs/architecture.md`` (§Layer 7) for the request lifecycle.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.core import (
+    DrFixService,
+    ServiceTicket,
+    detect_payload,
+    execute_detect,
+    execute_fix,
+    fix_outcome_payload,
+)
+from repro.service.frontend import ServiceHTTPServer, serve_stdio
+from repro.service.metrics import MetricsRecorder, ServiceMetrics, latency_percentile
+from repro.service.requests import (
+    DetectRequest,
+    FixRequest,
+    RequestKind,
+    ResponseStatus,
+    ServiceRequest,
+    ServiceResponse,
+    package_from_payload,
+    request_from_payload,
+)
+
+__all__ = [
+    "DetectRequest",
+    "DrFixService",
+    "FixRequest",
+    "MetricsRecorder",
+    "RequestKind",
+    "ResponseStatus",
+    "ResultCache",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceTicket",
+    "detect_payload",
+    "execute_detect",
+    "execute_fix",
+    "fix_outcome_payload",
+    "latency_percentile",
+    "package_from_payload",
+    "request_from_payload",
+    "serve_stdio",
+]

@@ -1,0 +1,78 @@
+"""Fingerprint-keyed result cache for the serving layer.
+
+A bounded, thread-safe LRU mapping a request's cache key (source fingerprint ×
+config fingerprint × request knobs, see
+:meth:`repro.service.requests.ServiceRequest.cache_key`) to the deterministic
+response payload.  Safe by construction: the differential test proves a served
+payload is bit-identical to a direct invocation, so replaying a stored payload
+for an identical key cannot change any observable result — only its latency.
+
+Entries are deep-copied on both ``put`` and ``get`` so callers can never
+mutate a cached payload in place (the HTTP frontend, the stdio frontend, and
+programmatic clients all receive private copies).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+
+class ResultCache:
+    """Bounded LRU of served payloads keyed by request fingerprint."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key`` (a private copy), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        # Copy outside the lock: entries are never mutated in place (put()
+        # stores a private copy), so concurrent lookups need not serialize
+        # behind a potentially large deep copy.
+        return copy.deepcopy(entry)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a payload (copied), evicting the least-recently-used entry."""
+        entry = copy.deepcopy(payload)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+__all__ = ["ResultCache"]

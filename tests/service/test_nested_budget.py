@@ -1,0 +1,145 @@
+"""Regression test: service workers × nested harness runs never oversubscribe.
+
+The service's batch pool is an outer :class:`~repro.execution.CaseExecutor`;
+each request's detection fans out again through the harness's per-seed
+executor (``DrFixConfig.harness_jobs``).  While the outer pool maps, it
+exports the per-worker leftover budget through ``DRFIX_NESTED_BUDGET`` and the
+in-process guard list, and inner executors clamp to it — so with a total
+budget of B and an outer fan-out of N, at most N × (B // N) = B harness runs
+execute concurrently, not N × harness_jobs.
+
+The test pins the budget, instruments ``GoTestHarness._run_once`` with a
+concurrency counter, floods the service with one full batch of distinct
+packages, and asserts the peak never exceeded the budget.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import DrFixConfig
+from repro.runtime.harness import GoFile, GoPackage, GoTestHarness
+from repro.service import DetectRequest, DrFixService
+
+BUDGET = 4
+
+SOURCE_TEMPLATE = """
+package demo
+
+import "sync"
+
+func Run{tag}(items []string) int {{
+	total := 0
+	var wg sync.WaitGroup
+	for _, item := range items {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			total = total + len(item)
+		}}()
+	}}
+	wg.Wait()
+	return total
+}}
+"""
+
+TEST_TEMPLATE = """
+package demo
+
+import "testing"
+
+func TestRun{tag}(t *testing.T) {{
+	Run{tag}([]string{{"a", "bb", "ccc"}})
+}}
+"""
+
+
+def _package(tag: str) -> GoPackage:
+    return GoPackage(name="demo", files=[
+        GoFile("run.go", SOURCE_TEMPLATE.format(tag=tag)),
+        GoFile("run_test.go", TEST_TEMPLATE.format(tag=tag)),
+    ])
+
+
+class ConcurrencyProbe:
+    """Counts concurrent executions of the wrapped harness run."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.current = 0
+        self.peak = 0
+        self.total = 0
+
+    def enter(self):
+        with self._lock:
+            self.current += 1
+            self.total += 1
+            self.peak = max(self.peak, self.current)
+
+    def exit(self):
+        with self._lock:
+            self.current -= 1
+
+
+def test_service_jobs_times_harness_jobs_respects_the_budget(monkeypatch):
+    # Pin the machine budget so the assertion is hardware-independent, and
+    # force thread backends everywhere so the probe sees every layer.
+    monkeypatch.setenv("DRFIX_NESTED_BUDGET", str(BUDGET))
+    monkeypatch.setenv("DRFIX_EXECUTOR", "thread")
+
+    probe = ConcurrencyProbe()
+    real_run_once = GoTestHarness._run_once
+
+    def probed_run_once(self, *args, **kwargs):
+        probe.enter()
+        try:
+            # Widen the race window so genuinely concurrent runs overlap.
+            time.sleep(0.002)
+            return real_run_once(self, *args, **kwargs)
+        finally:
+            probe.exit()
+
+    monkeypatch.setattr(GoTestHarness, "_run_once", probed_run_once)
+
+    # Every request asks the harness for harness_jobs=BUDGET inner workers;
+    # unclamped, BUDGET outer workers × BUDGET inner workers = BUDGET² runs
+    # would execute at once.
+    config = DrFixConfig(model="gpt-4o", harness_jobs=BUDGET)
+    service = DrFixService(config, database=None, max_in_flight=BUDGET,
+                           jobs=BUDGET, executor="thread",
+                           max_queue_depth=BUDGET * 2, start=False)
+    tickets = [service.submit(DetectRequest(package=_package(f"V{i}"), runs=8))
+               for i in range(BUDGET)]
+    service.start()
+    responses = [ticket.result(timeout=120) for ticket in tickets]
+    service.shutdown()
+
+    assert all(response.ok for response in responses)
+    assert probe.total == BUDGET * 8  # every (request, seed) run happened
+    # The whole point: outer × inner concurrency never exceeded the budget.
+    assert probe.peak <= BUDGET, (
+        f"peak concurrent harness runs {probe.peak} exceeded the "
+        f"DRFIX_NESTED_BUDGET of {BUDGET}"
+    )
+    # And the outer pool did fan out (this is a parallelism test, not serial).
+    assert probe.peak >= 2
+
+
+def test_nested_budget_clamps_inner_executor_construction(monkeypatch):
+    """The same accounting, asserted at the executor level (no service)."""
+    from repro.execution import CaseExecutor
+
+    monkeypatch.setenv("DRFIX_NESTED_BUDGET", "4")
+    monkeypatch.setenv("DRFIX_EXECUTOR", "thread")
+    inner_jobs = []
+
+    def outer_work(_item):
+        inner = CaseExecutor(kind="thread", jobs=4)
+        inner_jobs.append(inner.jobs)
+        return inner.map(lambda x: x, [1, 2, 3])
+
+    outer = CaseExecutor(kind="thread", jobs=4)
+    outer.map(outer_work, range(4))
+    # 4 outer workers on a budget of 4 leave 1 worker for each inner layer.
+    assert inner_jobs == [1, 1, 1, 1]

@@ -85,7 +85,7 @@ class TestCLI:
     def test_parser_declares_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("corpus", "detect", "fix", "evaluate"):
+        for command in ("corpus", "detect", "fix", "evaluate", "serve", "version"):
             assert command in text
 
     def test_detect_reports_the_race(self, racy_dir, capsys):
@@ -133,3 +133,94 @@ class TestCLI:
         assert "evaluation cases" in captured
         written = list((tmp_path / "corpus").rglob("*.go"))
         assert written, "expected corpus .go files to be written"
+
+
+class TestVersion:
+    def test_version_subcommand(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("drfix ")
+        # Semantic-version shaped, whether it came from package metadata
+        # (pip install -e .) or the __version__ fallback (bare checkout).
+        assert out.split()[1][0].isdigit()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip().startswith("drfix ")
+
+    def test_version_matches_fallback_shape(self):
+        from repro.cli import drfix_version
+
+        version = drfix_version()
+        assert version and version[0].isdigit()
+
+
+class TestArgumentValidation:
+    """--jobs/--runs are validated uniformly at the argparse boundary."""
+
+    @pytest.mark.parametrize("argv", [
+        ["detect", ".", "--jobs", "0"],
+        ["fix", ".", "--jobs", "0"],
+        ["evaluate", "--jobs", "0"],
+        ["bench", "--jobs", "0"],
+        ["serve", "--jobs", "0"],
+    ])
+    def test_jobs_zero_is_rejected_everywhere(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs must not be 0" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["detect", ".", "--runs", "0"],
+        ["detect", ".", "--runs", "-3"],
+        ["fix", ".", "--runs", "0"],
+        ["serve", "--runs", "0"],
+        ["serve", "--max-queue", "0"],
+        ["serve", "--max-in-flight", "-1"],
+    ])
+    def test_nonpositive_counts_are_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["detect", ".", "--jobs", "two"],
+        ["detect", ".", "--runs", "many"],
+    ])
+    def test_non_integers_are_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_negative_jobs_still_means_all_cpus(self, racy_dir):
+        # Negative worker counts remain valid (one worker per CPU).
+        assert main(["detect", str(racy_dir), "--runs", "6", "--jobs", "-1"]) == 1
+
+
+class TestServeCLI:
+    def test_serve_stdio_session(self, monkeypatch, capsys):
+        import io
+        import json
+
+        request = {
+            "kind": "detect",
+            "package": "demo",
+            "files": {"run.go": RACY_GO, "run_test.go": RACY_TEST},
+            "runs": 6,
+        }
+        lines = [json.dumps(request), json.dumps({"kind": "metrics"}),
+                 json.dumps({"kind": "shutdown"})]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        exit_code = main(["serve", "--mode", "stdio", "--no-rag", "--max-queue", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        responses = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert responses[0]["status"] == "ok"
+        assert responses[0]["payload"]["race_hashes"]
+        assert responses[1]["kind"] == "metrics"
+        assert "2 request(s) served" in captured.err

@@ -55,7 +55,7 @@ def test_link_checker_flags_broken_links(tmp_path):
 @pytest.mark.parametrize("package", [
     "repro", "repro.core", "repro.corpus", "repro.corpus.templates",
     "repro.embedding", "repro.evaluation", "repro.golang", "repro.llm",
-    "repro.llm.strategies", "repro.runtime",
+    "repro.llm.strategies", "repro.runtime", "repro.service",
 ])
 def test_package_all_exports_resolve(package):
     """Every name a package advertises in ``__all__`` must actually exist."""
