@@ -1,0 +1,200 @@
+"""Corpus-scale benchmark: the template-mutation engine at production size.
+
+Generates a labeled mutant corpus (bases + derived mutants, including
+sync-injected race-free negatives), then sweeps every case through the race
+detector and the diagnoser, and emits the ``BENCH_corpus.json`` artifact:
+
+* **generation** — wall time and throughput for minting ``--count`` labeled
+  cases (templates + mutation operators + ground-truth re-derivation);
+* **detection** — every racy case must reproduce its race at the labeled
+  symbols and every sync-injected case must come back clean (these two rates
+  are the corpus's headline correctness numbers, both expected at 1.0);
+* **diagnosis** — for each reproduced race, the diagnosed category must
+  agree with the template ground truth carried through the mutation.
+
+Run standalone to (re)generate the artifact::
+
+    PYTHONPATH=src python benchmarks/bench_corpus_scale.py \
+        --output BENCH_corpus.json
+
+or as a pytest smoke (used by the CI ``corpus-smoke`` job)::
+
+    python -m pytest benchmarks/bench_corpus_scale.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator  # noqa: E402
+from repro.diagnosis import RaceDiagnoser  # noqa: E402
+from repro.runtime.harness import run_package_tests  # noqa: E402
+
+DEFAULT_COUNT = 300
+DEFAULT_SEED = 2025
+DEFAULT_RUNS = 8
+MUTANTS_PER_BASE = 3
+FLIP_FRACTION = 0.2
+
+
+def _environment():
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+
+
+def run_benchmark(count=DEFAULT_COUNT, seed=DEFAULT_SEED, runs=DEFAULT_RUNS,
+                  mutants_per_base=MUTANTS_PER_BASE,
+                  flip_fraction=FLIP_FRACTION, noise_level=2):
+    generator = CorpusGenerator(CorpusConfig(seed=seed, noise_level=noise_level))
+
+    start = time.perf_counter()
+    cases = generator.generate_mutant_corpus(
+        count, mutants_per_base=mutants_per_base, flip_fraction=flip_fraction
+    )
+    generation_wall = time.perf_counter() - start
+
+    racy = [case for case in cases if case.expected_race]
+    race_free = [case for case in cases if not case.expected_race]
+    mutants = [case for case in cases if case.base_case_id]
+    by_category = Counter(case.category.value for case in cases)
+    op_usage = Counter(
+        record.split("(", 1)[0] for case in mutants for record in case.mutations
+    )
+
+    reproduced = 0
+    agreed = 0
+    clean = 0
+    start = time.perf_counter()
+    for case in racy:
+        report = case.race_report(runs=runs)
+        if report is None:
+            continue
+        reproduced += 1
+        diagnosis = RaceDiagnoser(case.package).diagnose(report)
+        if diagnosis.category is case.category:
+            agreed += 1
+    for case in race_free:
+        result = run_package_tests(case.package, runs=runs)
+        if result.built and not result.reports and not result.test_failures:
+            clean += 1
+    detection_wall = time.perf_counter() - start
+
+    return {
+        "schema": "drfix-bench-corpus/1",
+        "workload": {
+            "count": count,
+            "seed": seed,
+            "runs_per_case": runs,
+            "mutants_per_base": mutants_per_base,
+            "flip_fraction": flip_fraction,
+            "noise_level": noise_level,
+        },
+        "environment": _environment(),
+        "generation": {
+            "cases": len(cases),
+            "bases": len(cases) - len(mutants),
+            "mutants": len(mutants),
+            "racy": len(racy),
+            "race_free": len(race_free),
+            "wall_s": round(generation_wall, 3),
+            "cases_per_s": round(len(cases) / generation_wall, 1)
+            if generation_wall > 0 else 0.0,
+            "by_category": dict(sorted(by_category.items())),
+            "operator_usage": dict(sorted(op_usage.items())),
+        },
+        "detection": {
+            "racy_cases": len(racy),
+            "reproduced": reproduced,
+            "detection_rate": round(reproduced / len(racy), 4) if racy else 1.0,
+            "race_free_cases": len(race_free),
+            "clean": clean,
+            "clean_rate": round(clean / len(race_free), 4) if race_free else 1.0,
+            "wall_s": round(detection_wall, 3),
+            "cases_per_s": round(len(cases) / detection_wall, 1)
+            if detection_wall > 0 else 0.0,
+        },
+        "diagnosis": {
+            "diagnosed": reproduced,
+            "agreed": agreed,
+            "agreement_rate": round(agreed / reproduced, 4) if reproduced else 1.0,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke (CI): the mutation corpus must hold its headline properties.
+# ---------------------------------------------------------------------------
+
+
+def test_bench_corpus_scale_smoke():
+    import os
+
+    artifact = os.environ.get("DRFIX_CORPUS_BENCH_ARTIFACT", "")
+    if artifact and Path(artifact).exists():
+        report = json.loads(Path(artifact).read_text())
+    else:
+        count = int(os.environ.get("DRFIX_CORPUS_BENCH_COUNT", "40"))
+        report = run_benchmark(count=count, runs=6, noise_level=1)
+    generation = report["generation"]
+    assert generation["cases"] == report["workload"]["count"]
+    assert generation["mutants"] > generation["bases"]
+    assert generation["racy"] and generation["race_free"]
+    assert generation["cases_per_s"] > 0
+    # The acceptance bar: every labeled race reproduces, every sync-injected
+    # negative runs clean, and every diagnosis matches the ground truth the
+    # mutation pipeline re-derived.
+    detection = report["detection"]
+    assert detection["detection_rate"] == 1.0, report
+    assert detection["clean_rate"] == 1.0, report
+    assert report["diagnosis"]["agreement_rate"] == 1.0, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--output", default="BENCH_corpus.json",
+                        help="artifact path (default: ./BENCH_corpus.json)")
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
+                        help=f"labeled cases to generate (default {DEFAULT_COUNT})")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"corpus seed (default {DEFAULT_SEED})")
+    parser.add_argument("--runs", type=int, default=DEFAULT_RUNS,
+                        help=f"detector runs per case (default {DEFAULT_RUNS})")
+    parser.add_argument("--mutants-per-base", type=int, default=MUTANTS_PER_BASE,
+                        help=f"mutants derived per base case (default {MUTANTS_PER_BASE})")
+    args = parser.parse_args(argv)
+    report = run_benchmark(count=args.count, seed=args.seed, runs=args.runs,
+                           mutants_per_base=args.mutants_per_base)
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    generation = report["generation"]
+    print(f"generation: {generation['cases']} cases "
+          f"({generation['bases']} bases + {generation['mutants']} mutants, "
+          f"{generation['race_free']} race-free) in {generation['wall_s']} s "
+          f"({generation['cases_per_s']} cases/s)")
+    detection = report["detection"]
+    print(f"detection:  {detection['reproduced']}/{detection['racy_cases']} races "
+          f"reproduced ({detection['detection_rate']:.0%}), "
+          f"{detection['clean']}/{detection['race_free_cases']} negatives clean "
+          f"({detection['clean_rate']:.0%}) in {detection['wall_s']} s")
+    diagnosis = report["diagnosis"]
+    print(f"diagnosis:  {diagnosis['agreed']}/{diagnosis['diagnosed']} categories "
+          f"agree ({diagnosis['agreement_rate']:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,6 +118,66 @@ def _corpus_config(args: argparse.Namespace) -> CorpusConfig:
     return CorpusConfig().scaled(args.scale)
 
 
+def cmd_corpus_generate(args: argparse.Namespace) -> int:
+    """Generate a labeled mutant corpus (template bases + derived mutants)."""
+    import json
+
+    config = CorpusConfig(seed=args.seed, noise_level=args.noise_level)
+    generator = CorpusGenerator(config)
+    start = time.perf_counter()
+    cases = generator.generate_mutant_corpus(
+        args.count,
+        mutants_per_base=args.mutants_per_base,
+        flip_fraction=args.flip_fraction,
+    )
+    elapsed = time.perf_counter() - start
+    racy = sum(1 for case in cases if case.expected_race)
+    mutants = sum(1 for case in cases if case.base_case_id)
+    print(f"generated {len(cases)} labeled cases in {elapsed:.2f}s "
+          f"({len(cases) / max(elapsed, 1e-9):.1f} cases/s)")
+    print(f"  {racy} racy, {len(cases) - racy} race-free (sync-injected); "
+          f"{mutants} mutants from {len(cases) - mutants} template bases")
+    by_category: dict = {}
+    for case in cases:
+        by_category[case.category.value] = by_category.get(case.category.value, 0) + 1
+    for category, count in sorted(by_category.items()):
+        print(f"  {category:<28} {count}")
+    if args.validate_sample:
+        from repro.corpus.validate import validate_corpus
+
+        step = max(1, len(cases) // args.validate_sample)
+        sample = cases[::step][:args.validate_sample]
+        validation = validate_corpus(sample, runs=args.runs)
+        print(validation.summary())
+        if not validation.ok:
+            return 1
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        for case in cases:
+            case_dir = out / case.case_id
+            case_dir.mkdir(parents=True, exist_ok=True)
+            for file in case.package.files:
+                target = case_dir / file.name
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(file.source)
+            labels = {
+                "case_id": case.case_id,
+                "category": case.category.value,
+                "expected_race": case.expected_race,
+                "racy_file": case.racy_file,
+                "racy_function": case.racy_function,
+                "racy_variable": case.racy_variable,
+                "fix_strategy": case.fix_strategy,
+                "difficulty": case.difficulty.value,
+                "base_case_id": case.base_case_id,
+                "mutations": case.mutations,
+            }
+            (case_dir / "labels.json").write_text(json.dumps(labels, indent=2) + "\n")
+        print(f"wrote {len(cases)} labeled cases to {out}")
+    return 0
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     dataset = CorpusGenerator(_corpus_config(args)).generate()
     stats = dataset.statistics()
@@ -360,6 +420,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of the full corpus size (default 0.25)")
     corpus.add_argument("--output", help="directory to write the corpus packages to")
     corpus.set_defaults(func=cmd_corpus)
+    corpus_sub = corpus.add_subparsers(dest="corpus_command")
+    corpus_generate = corpus_sub.add_parser(
+        "generate",
+        help="generate a labeled mutant corpus (template bases + seeded mutants)",
+    )
+    corpus_generate.add_argument("--seed", type=int, default=2025,
+                                 help="corpus seed (default 2025); the output is "
+                                      "byte-identical for a given seed")
+    corpus_generate.add_argument("--count", type=positive_int, default=300,
+                                 help="number of labeled cases to emit (default 300)")
+    corpus_generate.add_argument("--mutants-per-base", type=int, default=3,
+                                 help="mutants derived per template base (default 3)")
+    corpus_generate.add_argument("--flip-fraction", type=float, default=0.2,
+                                 help="fraction of mutants sync-injected into "
+                                      "race-free negatives (default 0.2)")
+    corpus_generate.add_argument("--noise-level", type=int, default=2,
+                                 help="business-logic noise level 0..3 (default 2)")
+    corpus_generate.add_argument("--validate-sample", type=int, default=0,
+                                 help="run the metamorphic validator on N evenly "
+                                      "sampled cases (0 = skip)")
+    corpus_generate.add_argument("--runs", type=positive_int, default=10,
+                                 help="detection runs per validated case (default 10)")
+    corpus_generate.add_argument("--output",
+                                 help="directory to write cases + labels.json to")
+    corpus_generate.set_defaults(func=cmd_corpus_generate)
 
     detect = sub.add_parser("detect", help="run the race detector over a directory of .go files")
     detect.add_argument("path")

@@ -15,6 +15,8 @@ retrieval does not — the property Figure 3 measures.
 from repro.corpus.ground_truth import CaseFilter, Difficulty, RaceCase
 from repro.corpus.generator import CorpusGenerator, CorpusConfig
 from repro.corpus.dataset import Dataset, CorpusStatistics
+from repro.corpus.mutate import TemplateMutator, mutate_corpus
+from repro.corpus.validate import validate_case, validate_corpus
 
 __all__ = [
     "RaceCase",
@@ -24,4 +26,8 @@ __all__ = [
     "CorpusConfig",
     "Dataset",
     "CorpusStatistics",
+    "TemplateMutator",
+    "mutate_corpus",
+    "validate_case",
+    "validate_corpus",
 ]

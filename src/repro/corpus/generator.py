@@ -50,6 +50,10 @@ class CorpusConfig:
         default_factory=lambda: dict(PAPER_VECTORDB_FREQUENCIES)
     )
 
+    #: Tolerance for mix-weight normalization (the paper's Table 3 columns
+    #: carry rounding error, so an exact sum of 1.0 is not required).
+    MIX_TOLERANCE = 0.02
+
     def scaled(self, factor: float) -> "CorpusConfig":
         """A proportionally smaller/larger corpus (used by benchmarks)."""
         return CorpusConfig(
@@ -62,12 +66,44 @@ class CorpusConfig:
             db_mix=dict(self.db_mix),
         )
 
+    def validate(self) -> "CorpusConfig":
+        """Reject malformed category mixes in one place, with a clear error.
+
+        A mix must be (approximately) normalized and must only put weight on
+        categories that have registered templates — otherwise generation would
+        fail deep inside allocation (or silently skew the distribution).
+        Returns ``self`` so callers can chain.
+        """
+        for name, mix in (("eval_mix", self.eval_mix), ("db_mix", self.db_mix)):
+            negative = [c for c, w in mix.items() if w < 0]
+            if negative:
+                raise CorpusError(
+                    f"{name} has negative weight for "
+                    f"{', '.join(c.value for c in negative)}"
+                )
+            total = sum(mix.values())
+            if abs(total - 1.0) > self.MIX_TOLERANCE:
+                raise CorpusError(
+                    f"{name} weights sum to {total:.4f}; expected ~1.0 "
+                    f"(±{self.MIX_TOLERANCE})"
+                )
+            orphaned = [
+                c for c, w in mix.items() if w > 0 and not TEMPLATE_REGISTRY.get(c)
+            ]
+            if orphaned:
+                raise CorpusError(
+                    f"{name} assigns weight to "
+                    f"{', '.join(c.value for c in orphaned)}, "
+                    "but no template is registered for that category"
+                )
+        return self
+
 
 class CorpusGenerator:
     """Deterministically generate race cases from the template registry."""
 
     def __init__(self, config: Optional[CorpusConfig] = None):
-        self.config = config if config is not None else CorpusConfig()
+        self.config = (config if config is not None else CorpusConfig()).validate()
         self._rng = random.Random(self.config.seed)
         self._seed_counter = self.config.seed * 1000
 
@@ -133,6 +169,44 @@ class CorpusGenerator:
             evaluation=self.generate_eval_split(),
             config=self.config,
         )
+
+    def generate_mutant_corpus(
+        self,
+        count: int,
+        mutants_per_base: int = 3,
+        flip_fraction: float = 0.2,
+    ) -> List[RaceCase]:
+        """A labeled corpus of template bases plus derived mutants.
+
+        Bases are drawn in the evaluation mix; each base contributes
+        ``mutants_per_base`` mutants via the seeded template-mutation engine
+        (:mod:`repro.corpus.mutate`), about ``flip_fraction`` of them
+        sync-injected race-free negatives.  Fully deterministic in the
+        configured seed — byte-identical across processes.
+        """
+        from repro.corpus.mutate import TemplateMutator
+
+        if count <= 0:
+            raise CorpusError(f"mutant corpus size must be positive, got {count}")
+        if mutants_per_base < 0:
+            raise CorpusError("mutants_per_base must be >= 0")
+        per_group = 1 + mutants_per_base
+        bases_needed = (count + per_group - 1) // per_group
+        allocation = self._allocate(bases_needed, self.config.eval_mix)
+        bases: List[RaceCase] = []
+        for category, per_category in allocation.items():
+            bases.extend(self._make_category_cases(category, per_category))
+        mutator = TemplateMutator(self.config.seed)
+        cases: List[RaceCase] = []
+        for index, base in enumerate(bases):
+            cases.append(base)
+            cases.extend(
+                mutator.derive(
+                    base, mutants_per_base, flip_fraction=flip_fraction,
+                    salt_base=index * 1000,
+                )
+            )
+        return cases[:count]
 
 
 def generate_cases(

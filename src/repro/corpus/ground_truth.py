@@ -61,6 +61,14 @@ class RaceCase:
     #: Model ThreadSanitizer's two-level ancestry limit / truncated calling
     #: contexts: creation stacks and non-leaf frames are dropped from reports.
     truncate_ancestry: bool = False
+    #: Ground-truth label: False for sync-injected (race-free) mutants, whose
+    #: package must build, pass its tests, and report no race.
+    expected_race: bool = True
+    #: ``case_id`` of the template case this mutant derives from ("" for
+    #: template-generated bases).
+    base_case_id: str = ""
+    #: Mutation provenance, in application order (``op(key=value,...)``).
+    mutations: List[str] = field(default_factory=list)
     seed: int = 0
     _detection_cache: Optional[PackageRunResult] = field(default=None, repr=False, compare=False)
 

@@ -23,6 +23,7 @@ from repro.corpus.templates import (  # noqa: E402  (import order is the registr
     concurrent_slice,
     loop_var,
     missing_sync,
+    new_families,
     others,
     parallel_test,
     unfixable,
@@ -35,6 +36,7 @@ TEMPLATE_REGISTRY: Dict[RaceCategory, List[TemplateFn]] = {
         capture_by_ref.make_limit_capture_case,
         capture_by_ref.make_data_capture_case,
         capture_by_ref.make_ctx_select_err_case,
+        new_families.make_channel_close_case,
     ],
     RaceCategory.MISSING_SYNCHRONIZATION: [
         missing_sync.make_waitgroup_add_case,
@@ -43,6 +45,8 @@ TEMPLATE_REGISTRY: Dict[RaceCategory, List[TemplateFn]] = {
         advanced_sync.make_atomic_counter_case,
         advanced_sync.make_rwmutex_read_case,
         advanced_sync.make_once_init_case,
+        new_families.make_double_checked_case,
+        new_families.make_bulk_wgadd_case,
     ],
     RaceCategory.PARALLEL_TEST_SUITE: [
         parallel_test.make_shared_hash_case,
@@ -54,6 +58,7 @@ TEMPLATE_REGISTRY: Dict[RaceCategory, List[TemplateFn]] = {
     RaceCategory.CONCURRENT_MAP_ACCESS: [
         concurrent_map.make_shard_map_case,
         concurrent_map.make_local_map_case,
+        new_families.make_syncmap_entry_case,
     ],
     RaceCategory.CONCURRENT_SLICE_ACCESS: [
         concurrent_slice.make_channel_slice_case,

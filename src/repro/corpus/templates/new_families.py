@@ -1,0 +1,374 @@
+"""Templates for four additional Go race families (PR 6).
+
+Each family lands end to end: the template here, a diagnosis rule in
+``repro.diagnosis.diagnose``, a ``@fix_pattern`` strategy in
+``repro.llm.strategies.families``, and a guided-fix test.
+
+* ``make_double_checked_case``  — the classic double-checked locking bug: a
+  lazily initialized field is nil-checked outside the mutex before being
+  assigned under it; the fix hoists the check under the lock;
+* ``make_channel_close_case``   — a boolean completion flag written by the
+  producer goroutine and polled bare by the consumer; the fix replaces the
+  flag with a ``close()``-signalled channel read through a non-blocking
+  ``select``;
+* ``make_bulk_wgadd_case``      — ``wg.Add(1)`` issued inside each spawned
+  goroutine; the fix accounts for the whole batch with one ``wg.Add(n)``
+  before the spawning loop (the bulk variant of Listing 6);
+* ``make_syncmap_entry_case``   — ``sync.Map`` misuse: the map's own
+  operations are safe, but a mutable entry struct obtained via
+  ``LoadOrStore`` is mutated without value-level synchronization; the fix
+  adds a mutex to the entry type.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.ground_truth import Difficulty, RaceCase
+from repro.corpus.templates.base import assemble_file, build_case, scaled_noise, vocab_for
+from repro.diagnosis.categories import RaceCategory
+
+
+def make_double_checked_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    pool = vocab.type_name() + "Pool"
+    conn = vocab.entity_type() + "Link"
+    get = "acquire" + vocab.field_name()
+    run = "Dial" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {conn} struct {{
+	endpoint string
+	opened   int
+}}
+
+type {pool} struct {{
+	mu     sync.Mutex
+	conn   *{conn}
+	region string
+}}
+
+func (p *{pool}) {get}() *{conn} {{
+	if p.conn == nil {{
+		p.mu.Lock()
+		if p.conn == nil {{
+			p.conn = &{conn}{{endpoint: "east", opened: 1}}
+		}}
+		p.mu.Unlock()
+	}}
+	return p.conn
+}}
+
+func {run}(workers int) int {{
+	pool := &{pool}{{region: "west"}}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			link := pool.{get}()
+			if link.opened < 0 {{
+				return
+			}}
+		}}()
+	}}
+	wg.Wait()
+	return pool.{get}().opened
+}}
+"""
+    fixed_body = body.replace(
+        f"""func (p *{pool}) {get}() *{conn} {{
+	if p.conn == nil {{
+		p.mu.Lock()
+		if p.conn == nil {{
+			p.conn = &{conn}{{endpoint: "east", opened: 1}}
+		}}
+		p.mu.Unlock()
+	}}
+	return p.conn
+}}""",
+        f"""func (p *{pool}) {get}() *{conn} {{
+	p.mu.Lock()
+	if p.conn == nil {{
+		p.conn = &{conn}{{endpoint: "east", opened: 1}}
+	}}
+	p.mu.Unlock()
+	return p.conn
+}}""",
+    )
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if opened := {run}(4); opened != 1 {{
+		t.Errorf("unexpected opened count %d", opened)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_pool.go"
+    test_name = f"{vocab.noun()}_pool_test.go"
+    return build_case(
+        case_id=f"sync-dcl-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=get,
+        racy_variable="conn",
+        fix_strategy="double_checked_locking",
+        difficulty=Difficulty.COMPLEX,
+        description="double-checked locking: the lazily initialized field is nil-checked outside the mutex",
+        requires_file_scope=True,
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_channel_close_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    run = "Drain" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+func {run}(rounds int) int {{
+	var wg sync.WaitGroup
+	done := false
+	backlog := 0
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {{
+			backlog = backlog + 1
+		}}
+		done = true
+	}}()
+	drained := done
+	wg.Wait()
+	if drained && backlog < 0 {{
+		return -1
+	}}
+	return backlog
+}}
+"""
+    fixed_body = f"""
+func {run}(rounds int) int {{
+	var wg sync.WaitGroup
+	done := make(chan bool)
+	backlog := 0
+	wg.Add(1)
+	go func() {{
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {{
+			backlog = backlog + 1
+		}}
+		close(done)
+	}}()
+	drained := false
+	select {{
+	case <-done:
+		drained = true
+	default:
+	}}
+	wg.Wait()
+	if drained && backlog < 0 {{
+		return -1
+	}}
+	return backlog
+}}
+"""
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if backlog := {run}(3); backlog != 3 {{
+		t.Errorf("unexpected backlog %d", backlog)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_drain.go"
+    test_name = f"{vocab.noun()}_drain_test.go"
+    return build_case(
+        case_id=f"chan-close-{seed}",
+        category=RaceCategory.CAPTURE_BY_REFERENCE,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=run,
+        racy_variable="done",
+        fix_strategy="channel_close_signal",
+        difficulty=Difficulty.COMPLEX,
+        description="a completion flag polled bare while the producer writes it; the fix signals completion by closing a channel",
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_bulk_wgadd_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    ledger = vocab.type_name() + "Ledger"
+    credit = "credit" + vocab.field_name()
+    run = "Settle" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {ledger} struct {{
+	mu      sync.Mutex
+	settled int
+}}
+
+func (l *{ledger}) {credit}(n int) {{
+	l.mu.Lock()
+	l.settled = l.settled + n
+	l.mu.Unlock()
+}}
+
+func {run}(workers int) int {{
+	ledger := &{ledger}{{}}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		go func() {{
+			wg.Add(1)
+			defer wg.Done()
+			ledger.{credit}(1)
+		}}()
+	}}
+	wg.Wait()
+	return ledger.settled
+}}
+"""
+    fixed_body = body.replace(
+        f"""	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {{
+		go func() {{
+			wg.Add(1)
+			defer wg.Done()""",
+        f"""	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {{
+		go func() {{
+			defer wg.Done()""",
+    )
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if settled := {run}(4); settled < 0 {{
+		t.Errorf("negative settled count %d", settled)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_ledger.go"
+    test_name = f"{vocab.noun()}_ledger_test.go"
+    return build_case(
+        case_id=f"sync-bulkadd-{seed}",
+        category=RaceCategory.MISSING_SYNCHRONIZATION,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=run,
+        racy_variable="settled",
+        fix_strategy="bulk_wg_add",
+        difficulty=Difficulty.MODERATE,
+        description="wg.Add(1) issued inside each spawned goroutine; the fix accounts for the batch with one wg.Add(n) up front",
+        test_function=f"Test{run}",
+        seed=seed,
+    )
+
+
+def make_syncmap_entry_case(seed: int, noise_level: int = 1) -> RaceCase:
+    vocab = vocab_for(seed)
+    pkg = vocab.package_name()
+    entry = vocab.entity_type() + "Tally"
+    board = vocab.type_name() + "Board"
+    bump = "bump" + vocab.field_name()
+    run = "Count" + vocab.field_name()
+    noise_funcs, noise_structs = scaled_noise(noise_level)
+
+    body = f"""
+type {entry} struct {{
+	hits  int
+	label string
+}}
+
+type {board} struct {{
+	shards sync.Map
+}}
+
+func (b *{board}) {bump}(key string) int {{
+	fresh := &{entry}{{label: key}}
+	value, _ := b.shards.LoadOrStore(key, fresh)
+	tally := value.(*{entry})
+	tally.hits = tally.hits + 1
+	return tally.hits
+}}
+
+func {run}(rounds int) int {{
+	board := &{board}{{}}
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {{
+		wg.Add(1)
+		go func() {{
+			defer wg.Done()
+			board.{bump}("alpha")
+		}}()
+	}}
+	wg.Wait()
+	return board.{bump}("alpha")
+}}
+"""
+    fixed_body = body.replace(
+        f"""type {entry} struct {{
+	hits  int
+	label string
+}}""",
+        f"""type {entry} struct {{
+	mu    sync.Mutex
+	hits  int
+	label string
+}}""",
+    ).replace(
+        f"""	tally := value.(*{entry})
+	tally.hits = tally.hits + 1
+	return tally.hits""",
+        f"""	tally := value.(*{entry})
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
+	tally.hits = tally.hits + 1
+	return tally.hits""",
+    )
+    test_body = f"""
+func Test{run}(t *testing.T) {{
+	if hits := {run}(4); hits < 1 {{
+		t.Errorf("unexpected hit count %d", hits)
+	}}
+}}
+"""
+    racy = assemble_file(pkg, ["sync"], body, vocab, noise_funcs, noise_structs)
+    fixed = assemble_file(pkg, ["sync"], fixed_body, vocab, noise_funcs, noise_structs)
+    test = assemble_file(pkg, ["testing"], test_body)
+    file_name = f"{vocab.noun()}_board.go"
+    test_name = f"{vocab.noun()}_board_test.go"
+    return build_case(
+        case_id=f"syncmap-entry-{seed}",
+        category=RaceCategory.CONCURRENT_MAP_ACCESS,
+        package_name=pkg,
+        racy_files=[(file_name, racy), (test_name, test)],
+        fixed_files=[(file_name, fixed), (test_name, test)],
+        racy_file=file_name,
+        racy_function=bump,
+        racy_variable="hits",
+        fix_strategy="syncmap_value_lock",
+        difficulty=Difficulty.COMPLEX,
+        description="a mutable entry struct held in a sync.Map is mutated without value-level synchronization",
+        requires_file_scope=True,
+        test_function=f"Test{run}",
+        seed=seed,
+    )

@@ -148,6 +148,30 @@ class RaceDiagnoser:
                 0.85,
                 "the race is on thread-unsafe standard-library state",
             )
+        # 6a. A mutable value held in a ``sync.Map`` whose field is written
+        # without value-level synchronization: the map's own operations are
+        # safe, but the entries it hands out are not (sync.Map misuse).
+        if cleaned and any(
+            self._has_syncmap_field(file) and self._writes_field_of_syncmap_value(file, cleaned)
+            for file in parsed
+        ):
+            return (
+                RaceCategory.CONCURRENT_MAP_ACCESS,
+                0.9,
+                f"`{cleaned}` belongs to a value held in a sync.Map and is mutated "
+                "without value-level synchronization",
+            )
+        # 6b. Double-checked locking: a field nil-checked outside the mutex
+        # that guards its initialization.
+        if cleaned and "." in raw:
+            type_name = raw.split(".")[0]
+            if any(self._double_checked_field(file, type_name, cleaned) for file in parsed):
+                return (
+                    RaceCategory.MISSING_SYNCHRONIZATION,
+                    0.9,
+                    f"`{cleaned}` is initialized under a lock but nil-checked outside it "
+                    "(double-checked locking)",
+                )
         # 6. A loop variable captured by goroutines spawned in the loop body.
         if cleaned and any(self._is_captured_loop_var(file, cleaned) for file in parsed):
             return (
@@ -320,6 +344,77 @@ class RaceDiagnoser:
         return False
 
     @staticmethod
+    def _has_syncmap_field(file: ast.File) -> bool:
+        for spec in file.type_decls():
+            if isinstance(spec.type_, ast.StructType):
+                for struct_field in spec.type_.fields:
+                    type_ = struct_field.type_
+                    if isinstance(type_, ast.SelectorExpr) and type_.sel == "Map" \
+                            and isinstance(type_.x, ast.Ident) and type_.x.name == "sync":
+                        return True
+        return False
+
+    @staticmethod
+    def _writes_field_of_syncmap_value(file: ast.File, cleaned: str) -> bool:
+        """Some function loads a value out of a map (``Load``/``LoadOrStore``)
+        and then writes ``cleaned`` on it (possibly through aliases)."""
+        for decl in file.func_decls():
+            if decl.body is None:
+                continue
+            loaded: set = set()
+            for node in ast.walk(decl.body):
+                if not (isinstance(node, ast.AssignStmt) and node.tok == ":="):
+                    continue
+                from_load = any(
+                    isinstance(inner, ast.CallExpr)
+                    and isinstance(inner.fun, ast.SelectorExpr)
+                    and inner.fun.sel in ("Load", "LoadOrStore")
+                    for value in node.rhs
+                    for inner in ast.walk(value)
+                )
+                aliases = any(
+                    isinstance(inner, ast.Ident) and inner.name in loaded
+                    for value in node.rhs
+                    for inner in ast.walk(value)
+                )
+                if from_load or aliases:
+                    for target in node.lhs:
+                        if isinstance(target, ast.Ident) and target.name != "_":
+                            loaded.add(target.name)
+            for name in loaded:
+                if _writes_selector(decl.body, name, cleaned):
+                    return True
+        return False
+
+    @staticmethod
+    def _double_checked_field(file: ast.File, type_name: str, cleaned: str) -> bool:
+        """A method of ``type_name`` nil-checks ``recv.cleaned`` outside the
+        lock and assigns it inside a locked region within that check."""
+        for decl in file.func_decls():
+            if decl.recv is None or decl.body is None:
+                continue
+            recv_type = decl.recv.type_
+            if isinstance(recv_type, ast.StarExpr):
+                recv_type = recv_type.x
+            if not (isinstance(recv_type, ast.Ident) and recv_type.name == type_name):
+                continue
+            receiver = decl.recv.names[0] if decl.recv.names else ""
+            for node in ast.walk(decl.body):
+                if not isinstance(node, ast.IfStmt):
+                    continue
+                if not _is_nil_check(node.cond, receiver, cleaned):
+                    continue
+                has_lock = any(
+                    isinstance(inner, ast.CallExpr)
+                    and isinstance(inner.fun, ast.SelectorExpr)
+                    and inner.fun.sel == "Lock"
+                    for inner in ast.walk(node.body)
+                )
+                if has_lock and _writes_selector(node.body, receiver, cleaned):
+                    return True
+        return False
+
+    @staticmethod
     def _is_package_level_var(file: ast.File, cleaned: str) -> bool:
         for decl in file.decls:
             if isinstance(decl, ast.GenDecl) and decl.tok == "var":
@@ -332,6 +427,18 @@ class RaceDiagnoser:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
+
+
+def _is_nil_check(cond: ast.Expr, receiver: str, field_name: str) -> bool:
+    return (
+        isinstance(cond, ast.BinaryExpr)
+        and cond.op == "=="
+        and isinstance(cond.x, ast.SelectorExpr)
+        and cond.x.sel == field_name
+        and ast.base_name(cond.x) == receiver
+        and isinstance(cond.y, ast.Ident)
+        and cond.y.name == "nil"
+    )
 
 
 def _access_pattern(report: RaceReport) -> str:

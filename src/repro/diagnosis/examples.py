@@ -15,6 +15,7 @@ so they behave identically on function- and file-scoped snippets.
 
 from __future__ import annotations
 
+import re
 from typing import Optional
 
 from repro.diagnosis.registry import all_patterns
@@ -137,6 +138,35 @@ def assignment_became_declaration(buggy: str, fixed: str) -> bool:
             if as_assignment in buggy_lines and stripped not in buggy_lines:
                 return True
     return False
+
+
+def added_bulk_wg_add(buggy: str, fixed: str) -> bool:
+    """A batch-sized ``wg.Add(n)`` (identifier argument) appears in the fix."""
+    bulk_add = re.compile(r"\.Add\(([A-Za-z_]\w*)\)")
+    return bool(set(bulk_add.findall(fixed)) - set(bulk_add.findall(buggy)))
+
+
+def hoisted_nil_check_under_lock(buggy: str, fixed: str) -> bool:
+    """A nil check was hoisted under the lock that guards the initialization
+    (double-checked locking collapse; not a ``sync.Once`` conversion)."""
+    return (
+        ".Lock()" in fixed
+        and _count(fixed, "== nil") < _count(buggy, "== nil")
+        and _count(fixed, "sync.Once") == _count(buggy, "sync.Once")
+    )
+
+
+def locked_syncmap_value(buggy: str, fixed: str) -> bool:
+    """The ``sync.Map`` stays, but its entry values gain a mutex guard."""
+    return "sync.Map" in buggy and added_mutex_decl(buggy, fixed) and added_lock_calls(buggy, fixed)
+
+
+def closed_channel_signal(buggy: str, fixed: str) -> bool:
+    """A boolean flag became a channel closed to signal completion."""
+    return (
+        _count(fixed, "close(") > _count(buggy, "close(")
+        and _count(fixed, "make(chan ") > _count(buggy, "make(chan ")
+    )
 
 
 # -- shared helpers ------------------------------------------------------------------

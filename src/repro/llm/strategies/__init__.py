@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.llm.strategies.base import FixStrategy, ScopeCode, StrategyPlan, parse_scope
-from repro.llm.strategies import atomics, locking, restructure, simple  # noqa: F401
+from repro.llm.strategies import atomics, families, locking, restructure, simple  # noqa: F401
 from repro.diagnosis.registry import all_patterns
 
 #: One shared strategy instance per pattern, keyed by name.

@@ -84,6 +84,46 @@ class TestReportDiagnosis:
         assert clean_variable_name("") == ""
 
 
+class TestNewFamilyDiagnosis:
+    """Explicit coverage for the four PR-6 race families: each diagnoses to
+    its ground-truth category and surfaces its strategy as a candidate, and
+    the sync-injected (race-free) variant yields nothing to diagnose."""
+
+    @pytest.mark.parametrize("family,strategy", [
+        ("make_double_checked_case", "double_checked_locking"),
+        ("make_channel_close_case", "channel_close_signal"),
+        ("make_bulk_wgadd_case", "bulk_wg_add"),
+        ("make_syncmap_entry_case", "syncmap_value_lock"),
+    ])
+    def test_family_diagnosis_and_candidate_pattern(self, family, strategy):
+        from repro.corpus.templates import new_families
+
+        case = getattr(new_families, family)(321, 1)
+        report = case.race_report(runs=12)
+        assert report is not None, f"{case.case_id} did not reproduce"
+        diagnosis = RaceDiagnoser(case.package).diagnose(report)
+        assert diagnosis.category is case.category, diagnosis.evidence
+        assert strategy in diagnosis.candidate_patterns
+
+    @pytest.mark.parametrize("family", [
+        "make_double_checked_case",
+        "make_channel_close_case",
+        "make_bulk_wgadd_case",
+        "make_syncmap_entry_case",
+    ])
+    def test_sync_injected_variant_produces_no_diagnosis(self, family):
+        from repro.corpus.mutate import TemplateMutator
+        from repro.corpus.templates import new_families
+        from repro.runtime.harness import run_package_tests
+
+        case = getattr(new_families, family)(321, 1)
+        mutant = TemplateMutator(2).mutate(case, ["sync_inject"], salt=1)
+        assert not mutant.expected_race
+        detection = run_package_tests(mutant.package, runs=10)
+        assert detection.built and not detection.test_failures
+        assert not detection.reports  # nothing for RaceDiagnoser to diagnose
+
+
 # ---------------------------------------------------------------------------
 # Fix-pattern registry
 # ---------------------------------------------------------------------------

@@ -69,6 +69,27 @@ class TestCompiledEngineDifferential:
                 f"engine divergence on case={tree_row[0]} seed={tree_row[1]}"
             )
 
+    def test_mutant_corpus_bit_identical(self):
+        """≥30 mutation-engine cases (renames, reorders, workload and channel
+        variations, sync-injected negatives) run bit-identically on both
+        engines — the mutation operators must not exercise any construct the
+        compiler lowers differently from the tree-walk."""
+        generator = CorpusGenerator(CorpusConfig(seed=606, noise_level=1))
+        cases = generator.generate_mutant_corpus(32, mutants_per_base=4)
+        assert len(cases) >= 30
+        assert any(case.base_case_id for case in cases)
+        sweeps = {}
+        for engine in ("tree", "compiled"):
+            _reset_addresses()
+            sweeps[engine] = [
+                (case.case_id, _outcome(case.package, 7, engine, runs=3))
+                for case in cases
+            ]
+        for tree_row, compiled_row in zip(sweeps["tree"], sweeps["compiled"]):
+            assert tree_row == compiled_row, (
+                f"engine divergence on mutant case={tree_row[0]}"
+            )
+
     def test_entry_functions_and_build_errors_identical(self, dataset):
         broken = GoPackage(
             name="broken",

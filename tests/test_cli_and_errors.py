@@ -134,6 +134,25 @@ class TestCLI:
         written = list((tmp_path / "corpus").rglob("*.go"))
         assert written, "expected corpus .go files to be written"
 
+    def test_corpus_generate_emits_labeled_mutant_corpus(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "mutants"
+        exit_code = main([
+            "corpus", "generate", "--seed", "2025", "--count", "24",
+            "--noise-level", "1", "--validate-sample", "4",
+            "--output", str(out_dir),
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "generated 24 labeled cases" in captured
+        assert "validated 4 case(s): 4 ok" in captured
+        labels = sorted(out_dir.rglob("labels.json"))
+        assert len(labels) == 24
+        record = json.loads(labels[0].read_text())
+        assert {"case_id", "category", "expected_race", "mutations"} <= set(record)
+        assert list(labels[0].parent.glob("*.go")), "expected case .go files"
+
 
 class TestVersion:
     def test_version_subcommand(self, capsys):
