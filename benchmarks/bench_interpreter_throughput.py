@@ -6,9 +6,18 @@ Measures the inner loop every other benchmark sits on top of — repeated
 
 * **build_cold_ms / build_warm_ms** — parse + lower through a cleared
   :data:`~repro.runtime.compiler.PROGRAM_CACHE` vs a cache hit;
-* **tree / compiled** — wall time and scheduler steps/sec for the repeated-run
-  workload (``repeat_calls`` successive harness invocations × ``runs`` seeded
-  runs each, the shape of a validator sweep) on each engine;
+* **tree / compiled / sliced** — wall time and scheduler steps/sec for the
+  repeated-run workload (``repeat_calls`` successive harness invocations ×
+  ``runs`` seeded runs each, the shape of a validator sweep) on each engine
+  mode; ``compiled`` keeps full instrumentation (slicing off — comparable to
+  the tree-walk and the pinned baseline), ``sliced`` is the slice-aware
+  default, and ``schedule_points`` reports the reduction slicing buys;
+* **schedule_classes** — total seeded runs vs distinct schedule equivalence
+  classes explored (the detector's HB-trace hash), per slicing mode —
+  statistics only, the groundwork for schedule-class-aware run budgeting;
+* **incremental** — patch-aware recompilation: full cold build of a
+  multi-function package vs the derived rebuild after a one-function
+  candidate patch (the validator's hot path);
 * **speedup_vs_pr2** — the compiled+cache numbers against the pinned PR 2
   baseline (``benchmarks/baselines/interpreter_pr2.json``, measured from a git
   worktree of that commit on the same machine with the identical workload).
@@ -39,7 +48,7 @@ if str(_SRC) not in sys.path:
 
 from repro.corpus.generator import CorpusConfig, CorpusGenerator  # noqa: E402
 from repro.runtime.compiler import PROGRAM_CACHE  # noqa: E402
-from repro.runtime.harness import run_package_tests  # noqa: E402
+from repro.runtime.harness import GoFile, GoPackage, run_package_tests  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "interpreter_pr2.json"
 #: The workload mirrors a validator sweep: several harness invocations over
@@ -60,7 +69,8 @@ def _representative_cases(dataset):
     return list(picks.values())
 
 
-def _time_workload(package, engine: str, trials: int = TRIALS) -> tuple[float, int]:
+def _time_workload(package, engine: str, trials: int = TRIALS,
+                   slicing=None) -> tuple[float, int]:
     """Best-of-``trials`` wall time for the repeated-run workload + steps."""
     best = float("inf")
     steps = 0
@@ -68,11 +78,20 @@ def _time_workload(package, engine: str, trials: int = TRIALS) -> tuple[float, i
         start = time.perf_counter()
         steps = 0
         for _call in range(REPEAT_CALLS):
-            result = run_package_tests(package, runs=RUNS_PER_CALL, engine=engine)
+            result = run_package_tests(package, runs=RUNS_PER_CALL, engine=engine,
+                                       slicing=slicing)
             steps += result.scheduler_steps
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     return best, steps
+
+
+def _schedule_class_stats(package, slicing) -> dict:
+    """Total seeded runs vs distinct schedule classes for one sweep."""
+    runs = REPEAT_CALLS * RUNS_PER_CALL
+    result = run_package_tests(package, runs=runs, engine="compiled",
+                               slicing=slicing)
+    return {"runs": result.runs, "distinct": result.schedule_classes}
 
 
 def _time_build(package) -> tuple[float, float]:
@@ -85,6 +104,60 @@ def _time_build(package) -> tuple[float, float]:
     PROGRAM_CACHE.get_or_build(package)
     warm = (time.perf_counter() - start) * 1000.0
     return cold, warm
+
+
+#: The incremental-compilation workload: a package with many functions where
+#: a candidate patch touches exactly one of them — the validator's hot path.
+_PATCH_FUNCTIONS = 24
+
+
+def _patch_packages() -> tuple[GoPackage, GoPackage]:
+    bodies = []
+    for i in range(_PATCH_FUNCTIONS):
+        bodies.append(
+            f"func Work{i}(n int) int {{\n"
+            f"\ttotal := {i}\n"
+            f"\tfor j := 0; j < n; j++ {{\n"
+            f"\t\ttotal += j\n"
+            f"\t}}\n"
+            f"\treturn total\n"
+            f"}}\n"
+        )
+    base_source = "package candidate\n\n" + "\n".join(bodies)
+    patched_source = base_source.replace("\ttotal := 3\n", "\ttotal := 303\n")
+    assert patched_source != base_source
+    base = GoPackage(name="candidate", files=[GoFile("lib.go", base_source)])
+    patched = GoPackage(name="candidate", files=[GoFile("lib.go", patched_source)])
+    return base, patched
+
+
+def _time_patch_rebuild(trials: int = TRIALS) -> dict:
+    """Full cold build vs patch-aware derived rebuild, best-of-``trials``."""
+    base, patched = _patch_packages()
+    cold_best = float("inf")
+    warm_best = float("inf")
+    # Each trial is a couple of builds (~10 ms), so best-of is cheap: always
+    # take enough trials that one GC pause cannot skew the ratio.
+    for _ in range(max(trials, 10)):
+        PROGRAM_CACHE.clear()
+        start = time.perf_counter()
+        PROGRAM_CACHE.get_or_build(patched).ensure_program()
+        cold_best = min(cold_best, time.perf_counter() - start)
+
+        PROGRAM_CACHE.clear()
+        PROGRAM_CACHE.get_or_build(base).ensure_program()
+        start = time.perf_counter()
+        PROGRAM_CACHE.get_or_build(patched).ensure_program()
+        warm_best = min(warm_best, time.perf_counter() - start)
+    derived = PROGRAM_CACHE.stats()["derived_builds"]
+    PROGRAM_CACHE.clear()
+    return {
+        "functions": _PATCH_FUNCTIONS,
+        "build_cold_ms": round(cold_best * 1000.0, 3),
+        "patch_rebuild_ms": round(warm_best * 1000.0, 3),
+        "speedup": round(cold_best / warm_best, 2) if warm_best else None,
+        "derived_builds_observed": derived,
+    }
 
 
 def run_benchmark(scale: float = 1.0, trials: int = TRIALS) -> dict:
@@ -109,11 +182,18 @@ def run_benchmark(scale: float = 1.0, trials: int = TRIALS) -> dict:
         "cases": {},
     }
     totals = {"tree_s": 0.0, "compiled_s": 0.0, "tree_steps": 0, "compiled_steps": 0,
+              "sliced_s": 0.0, "sliced_steps": 0, "class_runs": 0,
+              "classes_off": 0, "classes_on": 0,
               "baseline_s": 0.0, "baseline_covered_s": 0.0}
     for case in cases:
         cold_ms, warm_ms = _time_build(case.package)
         tree_s, tree_steps = _time_workload(case.package, "tree", trials)
-        compiled_s, compiled_steps = _time_workload(case.package, "compiled", trials)
+        compiled_s, compiled_steps = _time_workload(
+            case.package, "compiled", trials, slicing="off")
+        sliced_s, sliced_steps = _time_workload(
+            case.package, "compiled", trials, slicing="on")
+        classes_off = _schedule_class_stats(case.package, "off")
+        classes_on = _schedule_class_stats(case.package, "on")
         entry = {
             "category": str(case.category),
             "build_cold_ms": round(cold_ms, 3),
@@ -126,12 +206,33 @@ def run_benchmark(scale: float = 1.0, trials: int = TRIALS) -> dict:
                 "seconds": round(compiled_s, 6),
                 "steps_per_sec": int(compiled_steps / compiled_s) if compiled_s else 0,
             },
+            "sliced": {
+                "seconds": round(sliced_s, 6),
+                "steps_per_sec": int(sliced_steps / sliced_s) if sliced_s else 0,
+            },
             "compiled_over_tree": round(tree_s / compiled_s, 3) if compiled_s else None,
+            "sliced_over_compiled": round(compiled_s / sliced_s, 3) if sliced_s else None,
+            "schedule_points": {
+                "off": compiled_steps,
+                "on": sliced_steps,
+                "reduction": round(1.0 - sliced_steps / compiled_steps, 4)
+                if compiled_steps else None,
+            },
+            "schedule_classes": {
+                "runs": classes_off["runs"],
+                "distinct_off": classes_off["distinct"],
+                "distinct_on": classes_on["distinct"],
+            },
         }
         totals["tree_s"] += tree_s
         totals["compiled_s"] += compiled_s
         totals["tree_steps"] += tree_steps
         totals["compiled_steps"] += compiled_steps
+        totals["sliced_s"] += sliced_s
+        totals["sliced_steps"] += sliced_steps
+        totals["class_runs"] += classes_off["runs"]
+        totals["classes_off"] += classes_off["distinct"]
+        totals["classes_on"] += classes_on["distinct"]
         if baseline and case.case_id in baseline.get("cases", {}):
             pr2_s = baseline["cases"][case.case_id]
             entry["pr2_baseline_seconds"] = pr2_s
@@ -143,13 +244,27 @@ def run_benchmark(scale: float = 1.0, trials: int = TRIALS) -> dict:
     report["totals"] = {
         "tree_seconds": round(totals["tree_s"], 6),
         "compiled_seconds": round(totals["compiled_s"], 6),
+        "sliced_seconds": round(totals["sliced_s"], 6),
         "compiled_over_tree": round(totals["tree_s"] / totals["compiled_s"], 3)
         if totals["compiled_s"] else None,
+        "sliced_over_compiled": round(totals["compiled_s"] / totals["sliced_s"], 3)
+        if totals["sliced_s"] else None,
         "tree_steps_per_sec": int(totals["tree_steps"] / totals["tree_s"])
         if totals["tree_s"] else 0,
         "compiled_steps_per_sec": int(totals["compiled_steps"] / totals["compiled_s"])
         if totals["compiled_s"] else 0,
+        "sliced_steps_per_sec": int(totals["sliced_steps"] / totals["sliced_s"])
+        if totals["sliced_s"] else 0,
+        "schedule_point_reduction": round(
+            1.0 - totals["sliced_steps"] / totals["compiled_steps"], 4)
+        if totals["compiled_steps"] else None,
+        "schedule_classes": {
+            "runs": totals["class_runs"],
+            "distinct_off": totals["classes_off"],
+            "distinct_on": totals["classes_on"],
+        },
     }
+    report["incremental"] = _time_patch_rebuild(trials)
     if baseline and totals["baseline_covered_s"]:
         report["totals"]["speedup_vs_pr2"] = round(
             totals["baseline_s"] / totals["baseline_covered_s"], 3)
@@ -184,6 +299,19 @@ def test_bench_interpreter_throughput_smoke():
     # CI runners jitter small workloads, so the gate allows noise and trips
     # only when the lowering pass has actually regressed below the tree-walk.
     assert totals["compiled_over_tree"] > 0.8, report["totals"]
+    # Slicing must elide ≥30% of schedule points on the validator-shaped
+    # workload.  Step counts are seeded-deterministic, so this gate is exact.
+    assert totals["schedule_point_reduction"] >= 0.30, report["totals"]
+    # Slicing must not *slow down* the sweep (lenient: CI jitter).
+    assert totals["sliced_over_compiled"] > 0.9, report["totals"]
+    classes = totals["schedule_classes"]
+    assert 0 < classes["distinct_off"] <= classes["runs"]
+    assert 0 < classes["distinct_on"] <= classes["runs"]
+    # Patch-aware recompilation: a one-function candidate patch must rebuild
+    # ≥5× faster than a cold build of the same package.
+    incremental = report["incremental"]
+    assert incremental["derived_builds_observed"] >= 1, incremental
+    assert incremental["speedup"] >= 5.0, incremental
 
 
 def main(argv=None) -> int:
@@ -202,6 +330,15 @@ def main(argv=None) -> int:
     print(f"wrote {out}")
     print(f"compiled over tree:     {totals['compiled_over_tree']}x "
           f"({totals['compiled_steps_per_sec']:,} vs {totals['tree_steps_per_sec']:,} steps/s)")
+    print(f"sliced over compiled:   {totals['sliced_over_compiled']}x "
+          f"(schedule points -{totals['schedule_point_reduction']:.1%})")
+    classes = totals["schedule_classes"]
+    print(f"schedule classes:       {classes['distinct_on']} distinct / "
+          f"{classes['runs']} runs (off: {classes['distinct_off']})")
+    incremental = report["incremental"]
+    print(f"patch-aware recompile:  ×{incremental['speedup']} "
+          f"({incremental['build_cold_ms']} ms cold vs "
+          f"{incremental['patch_rebuild_ms']} ms derived)")
     if "speedup_vs_pr2" in totals:
         print(f"compiled vs PR 2 base:  {totals['speedup_vs_pr2']}x")
     return 0

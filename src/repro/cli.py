@@ -48,6 +48,7 @@ from repro.evaluation.experiments import all_experiment_tables
 from repro.evaluation.reporting import render_report
 from repro.evaluation.runner import EvaluationRunner, ExperimentContext
 from repro.evaluation.store import RunStore, corpus_fingerprint
+from repro.runtime.compiler import PROGRAM_CACHE
 from repro.runtime.harness import GoFile, GoPackage, run_package_tests
 from repro.service import DrFixService, ServiceHTTPServer, serve_stdio
 
@@ -210,6 +211,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
         executor=args.executor,
         stop_on_first_race=args.fail_fast,
         engine=args.engine,
+        slicing=args.slicing,
     )
     print(result.summary())
     diagnoser = RaceDiagnoser(package)
@@ -250,7 +252,10 @@ def cmd_fix(args: argparse.Namespace) -> int:
         config = config.with_adaptive_runs()
     if args.engine:
         config = config.with_engine(args.engine)
-    detection = run_package_tests(package, runs=args.runs, engine=args.engine)
+    if args.slicing:
+        config = config.with_slicing(args.slicing)
+    detection = run_package_tests(package, runs=args.runs, engine=args.engine,
+                                  slicing=args.slicing)
     if not detection.reports:
         print("no data race detected; nothing to fix")
         return 0
@@ -358,6 +363,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"store-warm {fixed / max(warm_s, 1e-9):.2f} "
           f"(best ×{serial_s / max(best_s, 1e-9):.1f} vs serial)")
     print(f"determinism: all four runs report {serial_run.fix_rate()}")
+    cache_stats = PROGRAM_CACHE.stats()
+    print("program cache: "
+          f"{cache_stats['hits']} hits / {cache_stats['misses']} misses, "
+          f"{cache_stats['evictions']} evictions, "
+          f"{cache_stats['singleflight_waits']} single-flight waits, "
+          f"{cache_stats['full_builds']} full / {cache_stats['derived_builds']} derived builds, "
+          f"units {cache_stats['unit_hits']} reused / {cache_stats['unit_misses']} compiled")
     return 0
 
 
@@ -371,6 +383,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     config = DrFixConfig(model=args.model)
     if args.engine:
         config = config.with_engine(args.engine)
+    if args.slicing:
+        config = config.with_slicing(args.slicing)
     database: Optional[ExampleDatabase] = None
     if not args.no_rag:
         corpus = CorpusGenerator(CorpusConfig().scaled(args.scale)).generate()
@@ -458,6 +472,9 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--engine", choices=["compiled", "tree"], default=None,
                         help="interpreter engine (default: DRFIX_ENGINE or the "
                              "compile-once engine; the engines are bit-identical)")
+    detect.add_argument("--slicing", choices=["on", "off"], default=None,
+                        help="slice-aware instrumentation elision in the "
+                             "compiled engine (default: DRFIX_SLICING or on)")
     detect.set_defaults(func=cmd_detect)
 
     fix = sub.add_parser("fix", help="run the Dr.Fix pipeline over a directory of .go files")
@@ -474,6 +491,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "probability bound instead of the fixed validator_runs")
     fix.add_argument("--engine", choices=["compiled", "tree"], default=None,
                      help="interpreter engine for detection and validation runs")
+    fix.add_argument("--slicing", choices=["on", "off"], default=None,
+                     help="slice-aware instrumentation elision in the "
+                          "compiled engine (default: DRFIX_SLICING or on)")
     fix.set_defaults(func=cmd_fix)
 
     patterns = sub.add_parser(
@@ -532,6 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fingerprint result-cache entries (default 256)")
     serve.add_argument("--engine", choices=["compiled", "tree"], default=None,
                        help="interpreter engine for served runs")
+    serve.add_argument("--slicing", choices=["on", "off"], default=None,
+                       help="slice-aware instrumentation elision for served "
+                            "runs (default: DRFIX_SLICING or on)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.set_defaults(func=cmd_serve)

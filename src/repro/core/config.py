@@ -85,6 +85,14 @@ class DrFixConfig:
     #: engine.  Execution-only: the engines are bit-identical (enforced by the
     #: corpus-wide differential test), so results never depend on this knob.
     engine: str = ""
+    #: Slice-aware instrumentation for compiled-engine harness runs: ``""``
+    #: resolves the default (``DRFIX_SLICING`` env var, else on), ``"on"``
+    #: elides schedule points and detector hooks on provably single-goroutine
+    #: accesses, ``"off"`` keeps the fully instrumented lowering.  Detection-
+    #: equivalent by construction (enforced by the slicing ON/OFF equivalence
+    #: suite): identical races, failures, and output — only the schedule-point
+    #: count differs.
+    slicing: str = ""
 
     # ------------------------------------------------------------------
 
@@ -105,6 +113,9 @@ class DrFixConfig:
         if self.engine not in ("", "tree", "compiled"):
             raise ConfigError(
                 f"unknown engine {self.engine!r} (expected tree or compiled)")
+        if self.slicing not in ("", "on", "off"):
+            raise ConfigError(
+                f"unknown slicing mode {self.slicing!r} (expected on or off)")
         return self
 
     # -- experiment-arm constructors (used by the ablation harness) ----------------------
@@ -123,6 +134,9 @@ class DrFixConfig:
 
     def with_engine(self, engine: str) -> "DrFixConfig":
         return replace(self, engine=engine)
+
+    def with_slicing(self, slicing: str) -> "DrFixConfig":
+        return replace(self, slicing=slicing)
 
     def with_adaptive_runs(self, hit_rate: float = 0.55,
                            confidence: float = 0.999) -> "DrFixConfig":

@@ -92,6 +92,7 @@ def _validate_candidate(config: DrFixConfig, bug_hash: str,
         seed=config.validator_seed,
         jobs=config.harness_jobs,
         engine=config.engine or None,
+        slicing=config.slicing or None,
     )
     if not result.built:
         return ValidationResult(

@@ -59,6 +59,8 @@ JOBS_ENV_VAR = "DRFIX_JOBS"
 EXECUTOR_ENV_VAR = "DRFIX_EXECUTOR"
 #: Environment variable selecting the interpreter engine (``compiled``/``tree``).
 ENGINE_ENV_VAR = "DRFIX_ENGINE"
+#: Environment variable toggling slice-aware instrumentation (``on``/``off``).
+SLICING_ENV_VAR = "DRFIX_SLICING"
 #: Per-worker budget exported by an outer executor while it is mapping; inner
 #: executors clamp their worker count to it so nested layers of parallelism
 #: (pipeline × validation × harness) cannot oversubscribe the machine.
@@ -97,8 +99,32 @@ def resolve_engine(engine: "EngineKind | str | None" = None) -> EngineKind:
     try:
         return EngineKind(name)
     except ValueError:
-        valid = ", ".join(k.value for k in EngineKind)
-        raise ConfigError(f"unknown engine {name!r} (expected {valid})")
+        raise ConfigError(f"unknown engine {name!r} (expected tree or compiled)")
+
+
+_SLICING_NAMES = {
+    "on": True, "1": True, "true": True, "yes": True,
+    "off": False, "0": False, "false": False, "no": False,
+}
+
+
+def resolve_slicing(slicing: "bool | str | None" = None) -> bool:
+    """Resolve slice-aware instrumentation: explicit argument, then
+    ``DRFIX_SLICING``, then on.
+
+    With slicing on, the compiled engine elides schedule points and detector
+    hooks on accesses the slicer proves single-goroutine (see
+    :mod:`repro.golang.slicing`); ``off`` is the escape hatch that restores
+    the fully instrumented lowering.  Unknown values fail fast, mirroring
+    :func:`resolve_engine` and ``DrFixConfig`` validation.
+    """
+    if isinstance(slicing, bool):
+        return slicing
+    name = (slicing or os.environ.get(SLICING_ENV_VAR, "") or "on").strip().lower()
+    try:
+        return _SLICING_NAMES[name]
+    except KeyError:
+        raise ConfigError(f"unknown slicing mode {name!r} (expected on or off)")
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -310,10 +336,12 @@ __all__ = [
     "JOBS_ENV_VAR",
     "EXECUTOR_ENV_VAR",
     "NESTED_BUDGET_ENV_VAR",
+    "SLICING_ENV_VAR",
     "derive_case_seed",
     "nested_budget",
     "resolve_engine",
     "resolve_jobs",
     "resolve_kind",
+    "resolve_slicing",
     "stable_seed",
 ]

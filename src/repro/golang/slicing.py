@@ -1,0 +1,655 @@
+"""Per-function CFG / def-use slicing driving selective instrumentation.
+
+The compile-once engine instruments *every* identifier read and write with a
+schedule point and a detector callback, even though most accesses in a typical
+package touch bindings that provably can never be shared between goroutines.
+This module computes, once per parse, which accesses those are:
+
+* **Binding escape analysis** — every identifier occurrence inside a function
+  is resolved to the binding it denotes (mirroring the interpreter's lexical
+  environment chain).  A binding is *pure-local* when it is declared inside
+  its function unit (parameter, receiver, ``:=``, ``var``, range variable),
+  is never captured by a nested closure, and never has its address taken.
+  The cell behind such a binding is reachable by exactly one goroutine (Go
+  closures capture by reference, and pointers are the only other way out), so
+  eliding its schedule point and detector hook can never hide a race.
+* **Per-function CFG + def-use chains** — each function body is lowered to a
+  statement-level control-flow graph (the node-registry idiom of the classic
+  program-slicing tools: numbered nodes, predecessor/successor edges, per-node
+  def/use sets).  Reaching definitions over that graph yield def-use chains,
+  and a taint pass over the chains classifies every node — and hence the
+  function — as *interfering* (can reach a shared symbol: package-level,
+  captured, addressed, or a synchronization construct) or *pure-local*.
+
+The compiler consumes :attr:`FunctionSlice.elidable` (identifier-node ids
+whose access instrumentation may be dropped); the CFG classification feeds the
+benchmark/observability stats and the docs.  Elidability is decided purely
+from the binding analysis — the CFG taint is statistics, so CFG imprecision
+can never unsound the elision.
+
+Decisions are function-local by construction (a patch to one function never
+changes another function's slice), which is what lets the incremental build
+path in :mod:`repro.runtime.compiler` reuse slice results per function unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.golang import ast_nodes as ast
+from repro.golang.analysis import expr_mentions_sync, stmt_is_concurrency
+from repro.golang.symbols import UNIVERSE_NAMES
+
+#: Unit id used for package-scope bindings (no function declares them).
+_PACKAGE_UNIT = 0
+
+
+@dataclass(eq=False)
+class Binding:
+    """One declared variable and the facts that decide its shareability."""
+
+    name: str
+    #: ``id()`` of the declaring function unit (FuncDecl/FuncLit), or
+    #: :data:`_PACKAGE_UNIT` for package-level variables.
+    unit: int = _PACKAGE_UNIT
+    #: Declared at package scope — shared state by definition.
+    package_level: bool = False
+    #: Referenced from inside a closure nested below the declaring unit
+    #: (Go captures by reference: the cell escapes to the closure).
+    captured: bool = False
+    #: Operand of ``&`` somewhere (any pointer can carry the cell anywhere).
+    addressed: bool = False
+
+    @property
+    def pure_local(self) -> bool:
+        """Can the cell behind this binding ever be seen by a second goroutine?"""
+        return not (self.package_level or self.captured or self.addressed)
+
+
+class _Scope:
+    """A lexical scope mapping names to :class:`Binding` objects."""
+
+    __slots__ = ("parent", "bindings", "unit")
+
+    def __init__(self, parent: Optional["_Scope"], unit: int):
+        self.parent = parent
+        self.bindings: Dict[str, Binding] = {}
+        self.unit = unit
+
+    def lookup(self, name: str) -> Optional[Binding]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            binding = scope.bindings.get(name)
+            if binding is not None:
+                return binding
+            scope = scope.parent
+        return None
+
+
+# ---------------------------------------------------------------------------
+# CFG (node-registry idiom) + def-use chains
+# ---------------------------------------------------------------------------
+
+
+class CFGNode:
+    """One statement-level node: numbered, linked, with def/use sets."""
+
+    __slots__ = ("rid", "kind", "line", "defs", "uses", "succs", "preds", "sync")
+
+    def __init__(self, rid: int, kind: str, line: int):
+        self.rid = rid
+        self.kind = kind
+        self.line = line
+        self.defs: Set[str] = set()
+        self.uses: Set[str] = set()
+        self.succs: List[int] = []
+        self.preds: List[int] = []
+        #: The node itself is a synchronization construct (``go``, channel
+        #: op, ``sync.*`` call, ``select`` ...).
+        self.sync = False
+
+
+class FunctionCFG:
+    """The registry of one function's CFG nodes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: List[CFGNode] = []
+
+    def new_node(self, kind: str, line: int) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, line)
+        self.nodes.append(node)
+        return node
+
+    def link(self, preds: Iterable[CFGNode], node: CFGNode) -> None:
+        for pred in preds:
+            pred.succs.append(node.rid)
+            node.preds.append(pred.rid)
+
+    # -- dataflow -----------------------------------------------------------------------
+
+    def reaching_definitions(self) -> List[Dict[str, frozenset]]:
+        """Classic forward fixpoint: per node, name → def-node rids reaching it."""
+        n = len(self.nodes)
+        ins: List[Dict[str, frozenset]] = [{} for _ in range(n)]
+        outs: List[Dict[str, frozenset]] = [{} for _ in range(n)]
+        worklist = list(range(n))
+        while worklist:
+            rid = worklist.pop()
+            node = self.nodes[rid]
+            merged: Dict[str, frozenset] = {}
+            for pred in node.preds:
+                for name, rids in outs[pred].items():
+                    prior = merged.get(name)
+                    merged[name] = rids if prior is None else prior | rids
+            ins[rid] = merged
+            out = dict(merged)
+            for name in node.defs:
+                out[name] = frozenset((rid,))
+            if out != outs[rid]:
+                outs[rid] = out
+                worklist.extend(node.succs)
+        return ins
+
+    def du_chains(self) -> Dict[Tuple[int, str], frozenset]:
+        """Def-use chains: (use-node rid, name) → def-node rids that reach it."""
+        ins = self.reaching_definitions()
+        chains: Dict[Tuple[int, str], frozenset] = {}
+        for node in self.nodes:
+            reaching = ins[node.rid]
+            for name in node.uses:
+                rids = reaching.get(name)
+                if rids:
+                    chains[(node.rid, name)] = rids
+        return chains
+
+
+def _stmt_defs(stmt: ast.Stmt) -> Set[str]:
+    """Names (re)defined directly by one statement."""
+    defs: Set[str] = set()
+    if isinstance(stmt, ast.AssignStmt):
+        for target in stmt.lhs:
+            name = ast.base_name(target)
+            if name and name != "_":
+                defs.add(name)
+    elif isinstance(stmt, ast.IncDecStmt):
+        name = ast.base_name(stmt.x)
+        if name and name != "_":
+            defs.add(name)
+    elif isinstance(stmt, ast.DeclStmt):
+        for spec in stmt.decl.specs:
+            if isinstance(spec, ast.ValueSpec):
+                defs.update(n for n in spec.names if n != "_")
+    elif isinstance(stmt, ast.RangeStmt):
+        for var in (stmt.key, stmt.value):
+            name = ast.base_name(var) if var is not None else None
+            if name and name != "_":
+                defs.add(name)
+    return defs
+
+
+def _names_in(node: Optional[ast.Node]) -> Set[str]:
+    if node is None:
+        return set()
+    return {
+        n.name
+        for n in ast.walk(node)
+        if isinstance(n, ast.Ident) and n.name not in UNIVERSE_NAMES
+    }
+
+
+def _emit_cfg(cfg: FunctionCFG, stmts: Iterable[ast.Stmt],
+              preds: List[CFGNode]) -> List[CFGNode]:
+    """Append nodes for ``stmts``, linking from ``preds``; return the exit frontier."""
+    frontier = preds
+    for stmt in stmts:
+        line = stmt.pos.line
+        if isinstance(stmt, ast.BlockStmt):
+            frontier = _emit_cfg(cfg, stmt.stmts, frontier)
+        elif isinstance(stmt, ast.LabeledStmt):
+            frontier = _emit_cfg(cfg, [stmt.stmt], frontier)
+        elif isinstance(stmt, ast.IfStmt):
+            header = cfg.new_node("if", line)
+            header.uses = _names_in(stmt.init) | _names_in(stmt.cond)
+            if stmt.init is not None:
+                header.defs = _stmt_defs(stmt.init)
+            header.sync = expr_mentions_sync(stmt.cond)
+            cfg.link(frontier, header)
+            then_exits = _emit_cfg(cfg, stmt.body.stmts, [header])
+            if stmt.else_ is not None:
+                else_exits = _emit_cfg(cfg, [stmt.else_], [header])
+                frontier = then_exits + else_exits
+            else:
+                frontier = then_exits + [header]
+        elif isinstance(stmt, ast.ForStmt):
+            header = cfg.new_node("for", line)
+            for part in (stmt.init, stmt.post):
+                if part is not None:
+                    header.uses |= _names_in(part)
+                    header.defs |= _stmt_defs(part)
+            header.uses |= _names_in(stmt.cond)
+            cfg.link(frontier, header)
+            body_exits = _emit_cfg(cfg, stmt.body.stmts, [header])
+            for exit_node in body_exits:          # back edge
+                exit_node.succs.append(header.rid)
+                header.preds.append(exit_node.rid)
+            frontier = [header]
+        elif isinstance(stmt, ast.RangeStmt):
+            header = cfg.new_node("range", line)
+            header.uses = _names_in(stmt.x)
+            header.defs = _stmt_defs(stmt)
+            header.sync = expr_mentions_sync(stmt.x)
+            cfg.link(frontier, header)
+            body_exits = _emit_cfg(cfg, stmt.body.stmts, [header])
+            for exit_node in body_exits:          # back edge
+                exit_node.succs.append(header.rid)
+                header.preds.append(exit_node.rid)
+            frontier = [header]
+        elif isinstance(stmt, ast.SwitchStmt):
+            header = cfg.new_node("switch", line)
+            header.uses = _names_in(stmt.init) | _names_in(stmt.tag)
+            if stmt.init is not None:
+                header.defs = _stmt_defs(stmt.init)
+            cfg.link(frontier, header)
+            exits: List[CFGNode] = [header]
+            for case in stmt.cases:
+                exits.extend(_emit_cfg(cfg, case.body, [header]))
+            frontier = exits
+        elif isinstance(stmt, ast.SelectStmt):
+            header = cfg.new_node("select", line)
+            header.sync = True
+            cfg.link(frontier, header)
+            exits = []
+            for case in stmt.cases:
+                case_stmts = ([case.comm] if case.comm is not None else []) + list(case.body)
+                exits.extend(_emit_cfg(cfg, case_stmts, [header]))
+            frontier = exits or [header]
+        else:
+            node = cfg.new_node(type(stmt).__name__, line)
+            node.defs = _stmt_defs(stmt)
+            node.uses = _names_in(stmt) - node.defs if node.defs else _names_in(stmt)
+            node.sync = stmt_is_concurrency(stmt)
+            cfg.link(frontier, node)
+            frontier = [node]
+    return frontier
+
+
+def build_cfg(decl: ast.FuncDecl) -> FunctionCFG:
+    """Build the statement-level CFG for one function declaration."""
+    cfg = FunctionCFG(decl.name)
+    entry = cfg.new_node("entry", decl.pos.line)
+    for group in (decl.type_.params, decl.type_.results):
+        for fld in group:
+            entry.defs.update(n for n in fld.names if n != "_")
+    if decl.recv is not None:
+        entry.defs.update(n for n in decl.recv.names if n != "_")
+    if decl.body is not None:
+        _emit_cfg(cfg, decl.body.stmts, [entry])
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Binding / occurrence analysis
+# ---------------------------------------------------------------------------
+
+
+class _BindingWalker:
+    """Resolve every identifier occurrence of one function to its binding.
+
+    Mirrors the lexical scoping the interpreter's environment chain
+    implements (``:=`` reuses a same-scope cell, shadows an outer one;
+    if/for/switch/select introduce scopes; range variables are per-loop).
+    Any name that does not resolve to a tracked binding simply produces no
+    occurrence — unresolved means uninstrumentable means never elided.
+    """
+
+    def __init__(self, package_scope: _Scope):
+        self.package_scope = package_scope
+        #: Every resolved occurrence: ``id(Ident node) → Binding``.
+        self.occurrences: Dict[int, Binding] = {}
+        self.bindings: List[Binding] = []
+        self._unit = _PACKAGE_UNIT
+
+    # -- declaration helpers ------------------------------------------------------------
+
+    def _declare(self, scope: _Scope, name: str) -> Optional[Binding]:
+        if name == "_" or name in UNIVERSE_NAMES:
+            return None
+        existing = scope.bindings.get(name)
+        if existing is not None:
+            # ``x, err := ...`` twice in one scope reuses the cell, exactly
+            # like ``compile_assign_target``'s define path.
+            return existing
+        binding = Binding(name=name, unit=self._unit)
+        scope.bindings[name] = binding
+        self.bindings.append(binding)
+        return binding
+
+    def _use(self, node: ast.Ident, scope: _Scope) -> None:
+        name = node.name
+        if name == "_" or name in UNIVERSE_NAMES:
+            return
+        binding = scope.lookup(name)
+        if binding is None:
+            return
+        if binding.unit not in (self._unit, _PACKAGE_UNIT):
+            # Resolution crossed a closure boundary: captured by reference.
+            binding.captured = True
+        self.occurrences[id(node)] = binding
+
+    def _mark_addressed(self, operand: ast.Expr, scope: _Scope) -> None:
+        base = ast.base_name(operand)
+        if base:
+            binding = scope.lookup(base)
+            if binding is not None:
+                binding.addressed = True
+
+    # -- function entry -----------------------------------------------------------------
+
+    def walk_function(self, decl: ast.FuncDecl) -> None:
+        self._unit = id(decl)
+        scope = _Scope(parent=self.package_scope, unit=self._unit)
+        if decl.recv is not None:
+            for name in decl.recv.names:
+                self._declare(scope, name)
+        self._declare_fields(scope, decl.type_)
+        if decl.body is not None:
+            self._walk_block(decl.body, scope)
+
+    def _declare_fields(self, scope: _Scope, func_type: ast.FuncType) -> None:
+        for group in (func_type.params, func_type.results):
+            for fld in group:
+                for name in fld.names:
+                    self._declare(scope, name)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _walk_block(self, block: ast.BlockStmt, parent: _Scope) -> None:
+        scope = _Scope(parent=parent, unit=self._unit)
+        for stmt in block.stmts:
+            self._walk_stmt(stmt, scope)
+
+    def _walk_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.AssignStmt):
+            for expr in stmt.rhs:
+                self._walk_expr(expr, scope)
+            if stmt.tok == ":=":
+                for target in stmt.lhs:
+                    if isinstance(target, ast.Ident):
+                        self._declare(scope, target.name)
+                        self._use(target, scope)
+                    else:
+                        self._walk_expr(target, scope)
+            else:
+                for target in stmt.lhs:
+                    self._walk_expr(target, scope)
+        elif isinstance(stmt, ast.DeclStmt):
+            for spec in stmt.decl.specs:
+                if isinstance(spec, ast.ValueSpec):
+                    if spec.type_ is not None:
+                        self._walk_expr(spec.type_, scope)
+                    for value in spec.values:
+                        self._walk_expr(value, scope)
+                    for name in spec.names:
+                        self._declare(scope, name)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._walk_expr(stmt.x, scope)
+        elif isinstance(stmt, (ast.GoStmt, ast.DeferStmt)):
+            self._walk_expr(stmt.call, scope)
+        elif isinstance(stmt, ast.SendStmt):
+            self._walk_expr(stmt.chan, scope)
+            self._walk_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.IncDecStmt):
+            self._walk_expr(stmt.x, scope)
+        elif isinstance(stmt, ast.ReturnStmt):
+            for expr in stmt.results:
+                self._walk_expr(expr, scope)
+        elif isinstance(stmt, ast.BlockStmt):
+            self._walk_block(stmt, scope)
+        elif isinstance(stmt, ast.IfStmt):
+            inner = _Scope(parent=scope, unit=self._unit)
+            if stmt.init is not None:
+                self._walk_stmt(stmt.init, inner)
+            self._walk_expr(stmt.cond, inner)
+            self._walk_block(stmt.body, inner)
+            if stmt.else_ is not None:
+                self._walk_stmt(stmt.else_, inner)
+        elif isinstance(stmt, ast.ForStmt):
+            inner = _Scope(parent=scope, unit=self._unit)
+            if stmt.init is not None:
+                self._walk_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._walk_expr(stmt.cond, inner)
+            if stmt.post is not None:
+                self._walk_stmt(stmt.post, inner)
+            self._walk_block(stmt.body, inner)
+        elif isinstance(stmt, ast.RangeStmt):
+            inner = _Scope(parent=scope, unit=self._unit)
+            self._walk_expr(stmt.x, inner)
+            for var in (stmt.key, stmt.value):
+                if var is None:
+                    continue
+                if stmt.tok == ":=" and isinstance(var, ast.Ident):
+                    self._declare(inner, var.name)
+                    self._use(var, inner)
+                else:
+                    self._walk_expr(var, inner)
+            self._walk_block(stmt.body, inner)
+        elif isinstance(stmt, ast.SwitchStmt):
+            inner = _Scope(parent=scope, unit=self._unit)
+            if stmt.init is not None:
+                self._walk_stmt(stmt.init, inner)
+            if stmt.tag is not None:
+                self._walk_expr(stmt.tag, inner)
+            for case in stmt.cases:
+                case_scope = _Scope(parent=inner, unit=self._unit)
+                for expr in case.exprs:
+                    self._walk_expr(expr, case_scope)
+                for body_stmt in case.body:
+                    self._walk_stmt(body_stmt, case_scope)
+        elif isinstance(stmt, ast.SelectStmt):
+            for case in stmt.cases:
+                case_scope = _Scope(parent=scope, unit=self._unit)
+                if case.comm is not None:
+                    self._walk_stmt(case.comm, case_scope)
+                for body_stmt in case.body:
+                    self._walk_stmt(body_stmt, case_scope)
+        elif isinstance(stmt, ast.LabeledStmt):
+            self._walk_stmt(stmt.stmt, scope)
+        # Branch/Empty statements carry no expressions.
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _walk_expr(self, expr: Optional[ast.Expr], scope: _Scope) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Ident):
+            self._use(expr, scope)
+        elif isinstance(expr, ast.FuncLit):
+            outer_unit = self._unit
+            self._unit = id(expr)
+            lit_scope = _Scope(parent=scope, unit=self._unit)
+            self._declare_fields(lit_scope, expr.type_)
+            self._walk_block(expr.body, lit_scope)
+            self._unit = outer_unit
+        elif isinstance(expr, ast.UnaryExpr):
+            if expr.op == "&":
+                self._mark_addressed(expr.x, scope)
+            self._walk_expr(expr.x, scope)
+        elif isinstance(expr, ast.SelectorExpr):
+            self._walk_expr(expr.x, scope)
+        elif isinstance(expr, ast.IndexExpr):
+            self._walk_expr(expr.x, scope)
+            self._walk_expr(expr.index, scope)
+        elif isinstance(expr, ast.SliceExpr):
+            self._walk_expr(expr.x, scope)
+            self._walk_expr(expr.low, scope)
+            self._walk_expr(expr.high, scope)
+        elif isinstance(expr, ast.CallExpr):
+            self._walk_expr(expr.fun, scope)
+            for arg in expr.args:
+                self._walk_expr(arg, scope)
+        elif isinstance(expr, (ast.StarExpr, ast.ParenExpr)):
+            self._walk_expr(expr.x, scope)
+        elif isinstance(expr, ast.BinaryExpr):
+            self._walk_expr(expr.x, scope)
+            self._walk_expr(expr.y, scope)
+        elif isinstance(expr, ast.TypeAssertExpr):
+            self._walk_expr(expr.x, scope)
+        elif isinstance(expr, ast.KeyValueExpr):
+            self._walk_expr(expr.value, scope)
+        elif isinstance(expr, ast.CompositeLit):
+            for elt in expr.elts:
+                self._walk_expr(elt, scope)
+        # Type expressions carry no runtime value references.
+
+
+# ---------------------------------------------------------------------------
+# Slice results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionSlice:
+    """The slice verdict for one top-level function declaration."""
+
+    name: str
+    file: str
+    #: Can this function's execution reach shared (escaping or package-level)
+    #: symbols or synchronization constructs?
+    interfering: bool
+    #: ``id()`` of every identifier node whose access instrumentation
+    #: (schedule point + detector hook) may be elided.
+    elidable: frozenset
+    #: Total resolved identifier occurrences.
+    total_sites: int = 0
+    elidable_sites: int = 0
+    #: Sorted names of this unit's pure-local / shared bindings (diagnostics).
+    pure_bindings: Tuple[str, ...] = ()
+    shared_bindings: Tuple[str, ...] = ()
+    cfg_nodes: int = 0
+    interfering_nodes: int = 0
+
+
+@dataclass
+class SliceResult:
+    """Aggregated slice facts for one package's files."""
+
+    functions: List[FunctionSlice] = field(default_factory=list)
+    elidable: frozenset = frozenset()
+
+    def stats(self) -> Dict[str, int]:
+        total_sites = sum(f.total_sites for f in self.functions)
+        elidable_sites = sum(f.elidable_sites for f in self.functions)
+        return {
+            "functions": len(self.functions),
+            "pure_local_functions": sum(1 for f in self.functions if not f.interfering),
+            "interfering_functions": sum(1 for f in self.functions if f.interfering),
+            "total_sites": total_sites,
+            "elidable_sites": elidable_sites,
+            "instrumented_sites": total_sites - elidable_sites,
+            "cfg_nodes": sum(f.cfg_nodes for f in self.functions),
+            "interfering_nodes": sum(f.interfering_nodes for f in self.functions),
+        }
+
+
+def package_scope_bindings(files: Iterable[ast.File]) -> _Scope:
+    """Package-level ``var``/``const`` names as shared :class:`Binding`\\ s.
+
+    Function, type, and import names deliberately create no bindings: an
+    occurrence resolving to none of our bindings is simply never elided.
+    """
+    scope = _Scope(parent=None, unit=_PACKAGE_UNIT)
+    for file in files:
+        for decl in file.decls:
+            if isinstance(decl, ast.GenDecl) and decl.tok in ("var", "const"):
+                for spec in decl.specs:
+                    if isinstance(spec, ast.ValueSpec):
+                        for name in spec.names:
+                            if name != "_" and name not in scope.bindings:
+                                scope.bindings[name] = Binding(
+                                    name=name, unit=_PACKAGE_UNIT, package_level=True)
+    return scope
+
+
+def _taint_interfering(cfg: FunctionCFG, shared_names: Set[str]) -> int:
+    """Count CFG nodes that can reach shared state, via the def-use chains.
+
+    A node is directly interfering when it is a synchronization construct or
+    touches a shared name; taint then propagates forward along def-use chains
+    (a local defined from tainted state keeps the region interfering).
+    """
+    chains = cfg.du_chains()
+    tainted: Set[int] = set()
+    for node in cfg.nodes:
+        if node.sync or (node.defs | node.uses) & shared_names:
+            tainted.add(node.rid)
+    changed = True
+    while changed:
+        changed = False
+        for (use_rid, _name), def_rids in chains.items():
+            if use_rid not in tainted and def_rids & tainted:
+                tainted.add(use_rid)
+                changed = True
+    return len(tainted)
+
+
+def slice_function(decl: ast.FuncDecl, file_name: str,
+                   package_scope: _Scope) -> FunctionSlice:
+    """Analyze one top-level function: bindings, occurrences, CFG, verdict."""
+    walker = _BindingWalker(package_scope)
+    walker.walk_function(decl)
+
+    elidable = frozenset(
+        node_id for node_id, binding in walker.occurrences.items()
+        if binding.pure_local
+    )
+    touched = set(walker.occurrences.values()) | set(walker.bindings)
+    shared_bindings = {b for b in touched if not b.pure_local}
+
+    cfg = build_cfg(decl)
+    shared_names = {b.name for b in shared_bindings}
+    interfering_nodes = _taint_interfering(cfg, shared_names)
+
+    return FunctionSlice(
+        name=decl.name,
+        file=file_name,
+        interfering=bool(shared_bindings) or interfering_nodes > 0,
+        elidable=elidable,
+        total_sites=len(walker.occurrences),
+        elidable_sites=len(elidable),
+        pure_bindings=tuple(sorted({b.name for b in touched if b.pure_local})),
+        shared_bindings=tuple(sorted({b.name for b in shared_bindings})),
+        cfg_nodes=len(cfg.nodes),
+        interfering_nodes=interfering_nodes,
+    )
+
+
+def analyze_files(files: List[ast.File]) -> SliceResult:
+    """Slice every top-level function of ``files`` (one parsed package)."""
+    package_scope = package_scope_bindings(files)
+    result = SliceResult()
+    parts: List[frozenset] = []
+    for file in files:
+        for decl in file.func_decls():
+            if decl.body is None:
+                continue
+            fslice = slice_function(decl, file.name, package_scope)
+            result.functions.append(fslice)
+            parts.append(fslice.elidable)
+    result.elidable = frozenset().union(*parts) if parts else frozenset()
+    return result
+
+
+__all__ = [
+    "Binding",
+    "CFGNode",
+    "FunctionCFG",
+    "FunctionSlice",
+    "SliceResult",
+    "analyze_files",
+    "build_cfg",
+    "package_scope_bindings",
+    "slice_function",
+]

@@ -41,7 +41,13 @@ from functools import partial
 from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import GoPanic, GoRuntimeError
-from repro.execution import CaseExecutor, EngineKind, ExecutorKind, resolve_engine
+from repro.execution import (
+    CaseExecutor,
+    EngineKind,
+    ExecutorKind,
+    resolve_engine,
+    resolve_slicing,
+)
 from repro.golang import ast_nodes as ast
 from repro.runtime.compiler import PROGRAM_CACHE, BuiltPackage, CompiledInterpreter
 from repro.runtime.goroutine import Goroutine, STEP, blocked
@@ -250,6 +256,11 @@ class PackageRunResult:
     #: Total scheduler steps across all runs (throughput accounting for the
     #: interpreter benchmarks; no effect on results).
     scheduler_steps: int = 0
+    #: Distinct schedule-equivalence classes explored across the runs (count
+    #: of distinct synchronization-trace hashes — see
+    #: :attr:`~repro.runtime.race_detector.RaceDetector.schedule_class_hash`).
+    #: Statistics only: no run is skipped based on it.
+    schedule_classes: int = 0
 
     @property
     def built(self) -> bool:
@@ -304,6 +315,7 @@ class GoTestHarness:
         stop_on_first_race: bool = False,
         max_output_lines: int = 200,
         engine: "EngineKind | str | None" = None,
+        slicing: "bool | str | None" = None,
     ):
         self.package = package
         self.runs = runs
@@ -315,6 +327,10 @@ class GoTestHarness:
         #: :data:`~repro.runtime.compiler.PROGRAM_CACHE` and reused across
         #: every (seed, policy) run) or the reference tree-walk.
         self.engine = resolve_engine(engine)
+        #: Slice-aware instrumentation for compiled-engine runs (argument,
+        #: then ``DRFIX_SLICING``, then on); ``off`` restores the fully
+        #: instrumented lowering.  The tree engine ignores it.
+        self.slicing = resolve_slicing(slicing)
         #: Worker count for the per-seed runs (1 = the inline serial loop;
         #: ``None``/0 resolves ``DRFIX_JOBS``).  Clamped by the nested budget
         #: when a pipeline-level executor is already fanned out.
@@ -396,7 +412,7 @@ class GoTestHarness:
             # paid once per worker rather than once per run.
             runner = partial(
                 _execute_package_run, self.package, tuple(entries), self.max_steps,
-                self.engine.value,
+                self.engine.value, self.slicing,
             )
         if self.stop_on_first_race:
             outcomes = pool.map_until(runner, plan, stop=lambda out: bool(out[0]))
@@ -405,9 +421,11 @@ class GoTestHarness:
 
         all_reports: List[RaceReport] = []
         seen_failures = set(result.test_failures)
-        for run_reports, failures, output, steps in outcomes:
+        class_hashes = set()
+        for run_reports, failures, output, steps, class_hash in outcomes:
             all_reports.extend(run_reports)
             result.scheduler_steps += steps
+            class_hashes.add(class_hash)
             # Order-preserving dedup via a seen-set (the old ``not in list``
             # scan was quadratic over thousands of runs).
             for failure in failures:
@@ -418,6 +436,7 @@ class GoTestHarness:
             result.output.extend(kept)
             result.output_lines_truncated += dropped
             result.runs += 1
+        result.schedule_classes = len(class_hashes)
         result.reports = merge_reports(all_reports)
         return result
 
@@ -428,10 +447,11 @@ class GoTestHarness:
         entries: Sequence[str],
         seed: int,
         policy: SchedulerPolicy,
-    ) -> tuple[List[RaceReport], List[str], List[str], int]:
+    ) -> tuple[List[RaceReport], List[str], List[str], int, int]:
         detector = RaceDetector()
         scheduler = Scheduler(seed=seed, policy=policy, max_steps=self.max_steps)
-        program = build.ensure_program() if self.engine is EngineKind.COMPILED else None
+        program = (build.ensure_program(self.slicing)
+                   if self.engine is EngineKind.COMPILED else None)
         if program is not None:
             interp: Interpreter = CompiledInterpreter(
                 program, detector=detector, scheduler=scheduler)
@@ -470,7 +490,8 @@ class GoTestHarness:
         for root in roots:
             failures.extend(root.collect_failures())
         reports = [report_from_race(r, package=self.package.name) for r in program.races]
-        return reports, failures, program.output, program.steps
+        return (reports, failures, program.output, program.steps,
+                detector.schedule_class_hash)
 
 
 def _cap_output(lines: List[str], limit: int) -> Tuple[List[str], int]:
@@ -486,8 +507,9 @@ def _execute_package_run(
     entries: Tuple[str, ...],
     max_steps: int,
     engine: str,
+    slicing: bool,
     spec: Tuple[int, SchedulerPolicy],
-) -> Tuple[List[RaceReport], List[str], List[str], int]:
+) -> Tuple[List[RaceReport], List[str], List[str], int, int]:
     """Execute one (seed, policy) run in a worker.
 
     Module-level (with picklable arguments) so it can be shipped to
@@ -496,10 +518,11 @@ def _execute_package_run(
     once per process instead of once per run.
     """
     seed, policy = spec
-    harness = GoTestHarness(package, runs=1, max_steps=max_steps, jobs=1, engine=engine)
+    harness = GoTestHarness(package, runs=1, max_steps=max_steps, jobs=1,
+                            engine=engine, slicing=slicing)
     build = harness.build()
     if build.errors:  # pragma: no cover - the dispatching harness parsed cleanly
-        return [], list(build.errors), [], 0
+        return [], list(build.errors), [], 0, 0
     return harness._run_once(build, build.tests, list(entries), seed, policy)
 
 
@@ -514,6 +537,7 @@ def run_package_tests(
     stop_on_first_race: bool = False,
     max_output_lines: int = 200,
     engine: "EngineKind | str | None" = None,
+    slicing: "bool | str | None" = None,
     policies: Sequence[SchedulerPolicy] = DEFAULT_POLICIES,
 ) -> PackageRunResult:
     """Convenience wrapper: build ``package`` and run its tests ``runs`` times."""
@@ -528,5 +552,6 @@ def run_package_tests(
         stop_on_first_race=stop_on_first_race,
         max_output_lines=max_output_lines,
         engine=engine,
+        slicing=slicing,
     )
     return harness.run(entry_functions=entry_functions)

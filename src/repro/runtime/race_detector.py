@@ -110,8 +110,23 @@ class _LocationState:
         return Epoch(self.write_tid, self.write_clock)
 
 
+#: FNV-1a 64-bit parameters for the schedule-class trace hash.  Arithmetic
+#: (not Python ``hash()``) so the value is stable across processes whatever
+#: ``PYTHONHASHSEED`` the pool workers inherit.
+_FNV_OFFSET = 14695981039346656037
+_FNV_PRIME = 1099511628211
+_FNV_MASK = (1 << 64) - 1
+
+
 class RaceDetector:
-    """Tracks happens-before and flags conflicting unordered accesses."""
+    """Tracks happens-before and flags conflicting unordered accesses.
+
+    Alongside the clocks, the detector folds every synchronization event
+    (fork/join/release/acquire) into a rolling **schedule-class hash**: two
+    runs with the same hash established the same happens-before edges in the
+    same order, so they explored the same schedule equivalence class.  The
+    harness counts distinct hashes across a sweep — the groundwork for
+    schedule-class-aware run budgeting (statistics only for now)."""
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
@@ -119,6 +134,33 @@ class RaceDetector:
         self._thread_clocks: Dict[int, VectorClock] = {}
         self._locations: Dict[int, _LocationState] = {}
         self._reported_keys: set[Tuple[str, ...]] = set()
+        self._trace_hash = _FNV_OFFSET
+        #: Per-run sync-object numbering: ``id(sync)`` is only stable while
+        #: the object is alive, so each object is pinned for the run's
+        #: duration and numbered by first appearance (deterministic across
+        #: processes, unlike the raw id).
+        self._sync_ids: Dict[int, int] = {}
+        self._sync_pins: List[SyncVar] = []
+
+    @property
+    def schedule_class_hash(self) -> int:
+        """The rolling hash over this run's synchronization-event trace."""
+        return self._trace_hash
+
+    def _trace(self, kind: int, a: int, b: int) -> None:
+        h = self._trace_hash
+        for part in (kind, a, b):
+            h = ((h ^ part) * _FNV_PRIME) & _FNV_MASK
+        self._trace_hash = h
+
+    def _sync_id(self, sync: SyncVar) -> int:
+        key = id(sync)
+        number = self._sync_ids.get(key)
+        if number is None:
+            number = len(self._sync_pins)
+            self._sync_ids[key] = number
+            self._sync_pins.append(sync)
+        return number
 
     # ------------------------------------------------------------------
     # Goroutine lifecycle
@@ -139,6 +181,7 @@ class RaceDetector:
 
     def on_fork(self, parent_tid: int, child_tid: int) -> None:
         """``go`` statement: the child inherits the parent's knowledge."""
+        self._trace(1, parent_tid, child_tid)
         parent = self.clock_of(parent_tid)
         child = self.clock_of(child_tid)
         child.join(parent)
@@ -147,6 +190,7 @@ class RaceDetector:
 
     def on_join(self, waiter_tid: int, finished_tid: int) -> None:
         """A join edge (e.g. WaitGroup.Wait observing a goroutine's Done)."""
+        self._trace(2, waiter_tid, finished_tid)
         waiter = self.clock_of(waiter_tid)
         finished = self.clock_of(finished_tid)
         waiter.join(finished)
@@ -158,12 +202,14 @@ class RaceDetector:
 
     def on_release(self, tid: int, sync: SyncVar) -> None:
         """Unlock / channel send / WaitGroup.Done / atomic store."""
+        self._trace(3, tid, self._sync_id(sync))
         clock = self.clock_of(tid)
         sync.release(clock)
         clock.increment(tid)
 
     def on_acquire(self, tid: int, sync: SyncVar) -> None:
         """Lock / channel receive / WaitGroup.Wait return / atomic load."""
+        self._trace(4, tid, self._sync_id(sync))
         clock = self.clock_of(tid)
         sync.acquire(clock)
 
@@ -278,3 +324,6 @@ class RaceDetector:
         self._locations.clear()
         self._thread_clocks.clear()
         self._reported_keys.clear()
+        self._trace_hash = _FNV_OFFSET
+        self._sync_ids.clear()
+        self._sync_pins.clear()

@@ -177,6 +177,7 @@ def execute_detect(request: ServiceRequest, config: DrFixConfig) -> Dict[str, An
         seed=request.seed,
         jobs=config.harness_jobs,
         engine=config.engine or None,
+        slicing=config.slicing or None,
     )
     return normalize_addresses(detect_payload(request.package, result))
 
@@ -195,6 +196,7 @@ def execute_fix(request: ServiceRequest, config: DrFixConfig,
         seed=request.seed,
         jobs=config.harness_jobs,
         engine=config.engine or None,
+        slicing=config.slicing or None,
     )
     results: List[Dict[str, Any]] = []
     if detection.built:

@@ -49,6 +49,10 @@ class ServiceMetrics:
     p95_latency_ms: float = 0.0
     throughput_rps: float = 0.0
     uptime_seconds: float = 0.0
+    #: Snapshot of the interpreter's two-level program cache (entry hits and
+    #: misses, single-flight waits, full vs derived builds, per-function unit
+    #: reuse) — :meth:`repro.runtime.compiler.ProgramCache.stats`.
+    program_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -76,6 +80,7 @@ class ServiceMetrics:
             "p95_latency_ms": round(self.p95_latency_ms, 3),
             "throughput_rps": round(self.throughput_rps, 3),
             "uptime_seconds": round(self.uptime_seconds, 3),
+            "program_cache": dict(self.program_cache),
         }
 
     def render(self) -> str:
@@ -143,6 +148,11 @@ class MetricsRecorder:
     # ------------------------------------------------------------------
 
     def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> ServiceMetrics:
+        # Imported lazily: the metrics module must stay importable without
+        # pulling the whole runtime stack in (and vice versa).
+        from repro.runtime.compiler import PROGRAM_CACHE
+
+        program_cache = PROGRAM_CACHE.stats()
         with self._lock:
             latencies: List[float] = list(self._latencies_ms)
             uptime = time.monotonic() - self.started_at
@@ -161,6 +171,7 @@ class MetricsRecorder:
                 p95_latency_ms=latency_percentile(latencies, 0.95),
                 throughput_rps=self.served / uptime if uptime > 0 else 0.0,
                 uptime_seconds=uptime,
+                program_cache=program_cache,
             )
 
 

@@ -1,0 +1,169 @@
+"""Unit tests for the per-function slicing analysis.
+
+The slicer decides, per identifier occurrence, whether the binding it
+resolves to is *pure-local* to its function unit — declared inside the unit,
+never captured by a closure, never address-taken, not package-level.  Only
+those occurrences are elidable; everything else keeps full instrumentation.
+The compiler trusts this classification, so the tests here pin the
+conservative edges (captures, ``&x``, package vars, shadowing).
+"""
+
+from __future__ import annotations
+
+from repro.golang.parser import parse_file
+from repro.golang.slicing import (
+    analyze_files,
+    build_cfg,
+    package_scope_bindings,
+    slice_function,
+)
+
+
+def _parse(source, name="a.go"):
+    return parse_file(source, filename=name)
+
+
+def _slice_named(files, func_name):
+    scope = package_scope_bindings(files)
+    for file in files:
+        for decl in file.func_decls():
+            if decl.name == func_name and decl.body is not None:
+                return slice_function(decl, file.name, scope)
+    raise AssertionError(f"no function {func_name!r}")
+
+
+PURE_LOOP = """package p
+
+func Sum(n int) int {
+\ttotal := 0
+\tfor i := 0; i < n; i++ {
+\t\ttotal += i
+\t}
+\treturn total
+}
+"""
+
+
+def test_pure_local_function_fully_elidable():
+    file = _parse(PURE_LOOP)
+    fslice = _slice_named([file], "Sum")
+    assert not fslice.interfering
+    assert fslice.total_sites > 0
+    assert fslice.elidable_sites == fslice.total_sites
+    assert fslice.shared_bindings == ()
+
+
+CAPTURED = """package p
+
+import "sync"
+
+func Spawn() int {
+\tcount := 0
+\tlocal := 1
+\tvar wg sync.WaitGroup
+\twg.Add(1)
+\tgo func() {
+\t\tcount++
+\t\twg.Done()
+\t}()
+\tlocal++
+\twg.Wait()
+\treturn count + local
+}
+"""
+
+
+def test_closure_capture_blocks_elision_of_captured_binding_only():
+    file = _parse(CAPTURED)
+    fslice = _slice_named([file], "Spawn")
+    assert fslice.interfering  # spawns a goroutine, uses sync
+    assert "count" in fslice.shared_bindings
+    assert "local" in fslice.pure_bindings
+    # `local` occurrences are elidable even inside an interfering function.
+    assert 0 < fslice.elidable_sites < fslice.total_sites
+
+
+ADDRESSED = """package p
+
+func Alias() int {
+\tx := 1
+\ty := 2
+\tp := &x
+\t*p = 3
+\treturn x + y
+}
+"""
+
+
+def test_address_taken_binding_is_not_elidable():
+    file = _parse(ADDRESSED)
+    fslice = _slice_named([file], "Alias")
+    assert "x" in fslice.shared_bindings
+    assert "y" in fslice.pure_bindings
+    assert "p" in fslice.pure_bindings  # the pointer variable itself is local
+
+
+PACKAGE_VAR = """package p
+
+var shared = 0
+
+func Touch() int {
+\tlocal := shared
+\tshared = local + 1
+\treturn local
+}
+"""
+
+
+def test_package_level_binding_is_never_elidable():
+    file = _parse(PACKAGE_VAR)
+    fslice = _slice_named([file], "Touch")
+    assert "local" in fslice.pure_bindings
+    assert "shared" not in fslice.pure_bindings
+    assert fslice.elidable_sites < fslice.total_sites
+
+
+SHADOW = """package p
+
+var x = 0
+
+func Shadow() int {
+\tx := 1
+\tx++
+\treturn x
+}
+"""
+
+
+def test_local_shadow_of_package_var_is_elidable():
+    file = _parse(SHADOW)
+    fslice = _slice_named([file], "Shadow")
+    assert "x" in fslice.pure_bindings
+    assert fslice.elidable_sites == fslice.total_sites
+    assert not fslice.interfering
+
+
+def test_analyze_files_stats_roundtrip():
+    files = [_parse(CAPTURED, "spawn.go"), _parse(PURE_LOOP, "sum.go")]
+    result = analyze_files(files)
+    stats = result.stats()
+    assert stats["functions"] == 2
+    assert stats["interfering_functions"] == 1
+    assert 0 < stats["elidable_sites"] < stats["total_sites"]
+    assert len(result.elidable) == stats["elidable_sites"]
+
+
+def test_cfg_reaching_definitions_and_du_chains():
+    file = _parse(PURE_LOOP)
+    decl = file.func_decls()[0]
+    cfg = build_cfg(decl)
+    chains = cfg.du_chains()
+    # The loop body's `total += i` is reached by both the initial definition
+    # of `total` and its own redefinition (the back edge).
+    defs_reaching_use = {
+        (cfg.nodes[rid].line, name)
+        for (rid, name), uses in chains.items()
+        if uses
+    }
+    assert any(name == "total" for _, name in defs_reaching_use)
+    assert any(name == "i" for _, name in defs_reaching_use)

@@ -14,37 +14,24 @@ compiler guarantees) then yields identical addresses.
 
 from __future__ import annotations
 
-import itertools
+from functools import partial
 
 import pytest
 
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.execution import EngineKind, resolve_engine
-from repro.runtime import memory
 from repro.runtime.compiler import PROGRAM_CACHE, package_fingerprint
 from repro.runtime.harness import GoFile, GoPackage, run_package_tests
-from repro.runtime.scheduler import SchedulerPolicy
+from repro.testing import reset_addresses as _reset_addresses
+from repro.testing import run_outcome
 
-ALL_POLICIES = tuple(SchedulerPolicy)
+# Tree-vs-compiled comparisons force slicing OFF: the fully instrumented
+# compiled lowering is the one that is bit-identical to the tree-walk
+# (slicing elides schedule points, which legitimately changes seeded
+# schedules; its own equivalence suite is test_slicing_equivalence.py).
+_outcome = partial(run_outcome, slicing="off")
+
 SEEDS = (0, 11)
-
-
-def _reset_addresses() -> None:
-    memory._address_counter = itertools.count(0xC000000000, 0x10)
-
-
-def _outcome(package, seed, engine, policies=ALL_POLICIES, runs=5):
-    result = run_package_tests(
-        package, runs=runs, seed=seed, engine=engine, policies=policies
-    )
-    return {
-        "reports": [report.render() for report in result.reports],
-        "failures": result.test_failures,
-        "output": result.output,
-        "build_errors": result.build_errors,
-        "runs": result.runs,
-        "tests": result.tests_discovered,
-    }
 
 
 @pytest.fixture(scope="module")

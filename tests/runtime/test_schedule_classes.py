@@ -1,0 +1,119 @@
+"""Schedule-class statistics: the HB-trace hash and the harness counts.
+
+Two runs that establish the same happens-before edges in the same order
+explored the same schedule equivalence class; the detector folds every
+fork/join/release/acquire event into a rolling FNV-1a hash and the harness
+counts distinct hashes across a sweep.  Statistics only — no behavior keys
+off the hash — but the numbers feed BENCH_interpreter.json, so they must be
+deterministic across processes and runs.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.race_detector import RaceDetector, _FNV_OFFSET
+from repro.runtime.vector_clock import SyncVar
+from repro.runtime.harness import GoFile, GoPackage, run_package_tests
+from repro.runtime.scheduler import SchedulerPolicy
+
+
+class TestScheduleClassHash:
+    def test_same_event_sequence_same_hash(self):
+        def trace(detector):
+            sync = SyncVar()
+            detector.on_fork(1, 2)
+            detector.on_release(2, sync)
+            detector.on_acquire(1, sync)
+            detector.on_join(1, 2)
+            return detector.schedule_class_hash
+
+        assert trace(RaceDetector()) == trace(RaceDetector())
+
+    def test_event_order_changes_hash(self):
+        first, second = RaceDetector(), RaceDetector()
+        sync_a, sync_b = SyncVar(), SyncVar()
+
+        first.on_fork(1, 2)
+        first.on_release(1, sync_a)
+        first.on_release(2, sync_b)
+
+        second.on_fork(1, 2)
+        second.on_release(2, sync_a)  # same events, swapped goroutines
+        second.on_release(1, sync_b)
+
+        assert first.schedule_class_hash != second.schedule_class_hash
+
+    def test_sync_objects_numbered_by_first_appearance(self):
+        """The hash uses per-run sync numbering, not ``id()`` — two runs
+        touching fresh sync objects in the same order must collide."""
+        def trace(detector):
+            lock, chan = SyncVar(), SyncVar()
+            detector.on_release(1, lock)
+            detector.on_acquire(2, lock)
+            detector.on_release(2, chan)
+            return detector.schedule_class_hash
+
+        assert trace(RaceDetector()) == trace(RaceDetector())
+
+    def test_reset_restores_the_empty_trace(self):
+        detector = RaceDetector()
+        detector.on_fork(1, 2)
+        assert detector.schedule_class_hash != _FNV_OFFSET
+        detector.reset()
+        assert detector.schedule_class_hash == _FNV_OFFSET
+        assert not detector._sync_ids and not detector._sync_pins
+
+
+RACY = GoPackage(
+    name="classes",
+    files=[GoFile("classes_test.go", """package classes
+
+import (
+\t"sync"
+\t"testing"
+)
+
+func TestClasses(t *testing.T) {
+\tcount := 0
+\tvar wg sync.WaitGroup
+\tfor i := 0; i < 3; i++ {
+\t\twg.Add(1)
+\t\tgo func() {
+\t\t\tcount++
+\t\t\twg.Done()
+\t\t}()
+\t}
+\twg.Wait()
+}
+""")],
+)
+
+
+class TestHarnessScheduleClassCounts:
+    def test_distinct_classes_bounded_by_runs_and_deterministic(self):
+        result = run_package_tests(
+            RACY, runs=6, seed=1, policies=(SchedulerPolicy.RANDOM,)
+        )
+        assert 1 <= result.schedule_classes <= result.runs
+        again = run_package_tests(
+            RACY, runs=6, seed=1, policies=(SchedulerPolicy.RANDOM,)
+        )
+        assert again.schedule_classes == result.schedule_classes
+
+    def test_single_goroutine_program_has_one_class(self):
+        package = GoPackage(
+            name="solo",
+            files=[GoFile("solo_test.go", """package solo
+
+import "testing"
+
+func TestSolo(t *testing.T) {
+\ttotal := 0
+\tfor i := 0; i < 4; i++ {
+\t\ttotal += i
+\t}
+\tprintln(total)
+}
+""")],
+        )
+        result = run_package_tests(package, runs=4, seed=0)
+        assert result.schedule_classes == 1

@@ -1,0 +1,158 @@
+"""Slicing ON ≡ OFF: corpus-wide detection equivalence.
+
+Slice-aware instrumentation elides schedule points (and detector hooks) on
+provably single-goroutine accesses, so an ON run draws fewer seeded scheduler
+choices than an OFF run — the two modes explore *different* interleavings for
+the same seed.  Per-seed bit-identical rendered reports are therefore
+impossible by construction (that bar is owned by the tree-vs-compiled
+differential, where slicing is forced OFF).  What slicing must preserve —
+and what this suite enforces, deterministically, across every template, the
+mutation corpus, and all five scheduler policies — is the detection contract
+the validator consumes:
+
+* per (case, seed): identical race verdict, identical set of racy variables,
+  identical program output, build errors, and run/test counts;
+* per case aggregated over seeds: identical test-failure verdict
+  (schedule-dependent panics — e.g. a racy slice append blowing up only
+  under some interleavings — may appear on different seeds, exactly as they
+  do between two OFF seeds);
+* exact racing-pair sets (``bug_hashes``) may differ per seed, but a
+  difference never flips the race verdict: secondary pairs vary with the
+  interleaving, the race itself does not.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.testing import detection_outcome, reset_addresses
+
+SEEDS = (0, 11)
+
+#: Outcome keys that must match per (case, seed) even though ON and OFF
+#: explore different interleavings.
+_STABLE_KEYS = ("raced", "race_vars", "output", "build_errors", "runs", "tests")
+
+
+def _stable(outcome):
+    return {key: outcome[key] for key in _STABLE_KEYS}
+
+
+def _sweep(cases, mode, seeds, runs):
+    reset_addresses()
+    return [
+        (case.case_id, seed,
+         detection_outcome(case.package, seed, "compiled", runs=runs, slicing=mode))
+        for case in cases
+        for seed in seeds
+    ]
+
+
+def _assert_detection_equivalent(cases, seeds, runs):
+    off_rows = _sweep(cases, "off", seeds, runs)
+    on_rows = _sweep(cases, "on", seeds, runs)
+    failed = defaultdict(lambda: [False, False])
+    for (case_id, seed, off), (_, _, on) in zip(off_rows, on_rows):
+        assert _stable(off) == _stable(on), (
+            f"slicing divergence on case={case_id} seed={seed}"
+        )
+        if off["bug_hashes"] != on["bug_hashes"]:
+            # Secondary racing pairs are schedule-dependent; the verdict is not.
+            assert off["raced"] and on["raced"], (
+                f"slicing flipped the race verdict on case={case_id} seed={seed}"
+            )
+        failed[case_id][0] |= off["failed"]
+        failed[case_id][1] |= on["failed"]
+    for case_id, (off_failed, on_failed) in failed.items():
+        assert off_failed == on_failed, (
+            f"slicing flipped the aggregate failure verdict on case={case_id}"
+        )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CorpusGenerator(CorpusConfig()).generate()
+
+
+class TestSlicingDetectionEquivalence:
+    def test_full_corpus_detection_equivalent(self, dataset):
+        """Every template × seed × all five scheduler policies."""
+        _assert_detection_equivalent(
+            dataset.evaluation + dataset.db_examples, SEEDS, runs=5
+        )
+
+    def test_mutant_corpus_detection_equivalent(self):
+        """The PR 6 mutation corpus (renames, reorders, workload/channel
+        variants, sync-injected negatives) under both slicing modes."""
+        generator = CorpusGenerator(CorpusConfig(seed=606, noise_level=1))
+        cases = generator.generate_mutant_corpus(32, mutants_per_base=4)
+        assert len(cases) >= 30
+        _assert_detection_equivalent(cases, (7, 19), runs=3)
+
+    def test_slicing_reduces_schedule_points(self, dataset):
+        """The point of the exercise: strictly fewer schedule points ON."""
+        cases = (dataset.evaluation + dataset.db_examples)[:12]
+        off_rows = _sweep(cases, "off", (0,), runs=3)
+        on_rows = _sweep(cases, "on", (0,), runs=3)
+        off_steps = sum(row[2]["steps"] for row in off_rows)
+        on_steps = sum(row[2]["steps"] for row in on_rows)
+        assert on_steps < off_steps
+
+
+class TestSlicingSelection:
+    def test_resolve_slicing_defaults_on(self, monkeypatch):
+        from repro.execution import resolve_slicing
+
+        monkeypatch.delenv("DRFIX_SLICING", raising=False)
+        assert resolve_slicing() is True
+        assert resolve_slicing("off") is False
+        assert resolve_slicing("on") is True
+        assert resolve_slicing(False) is False
+        assert resolve_slicing(True) is True
+
+    def test_resolve_slicing_env_var(self, monkeypatch):
+        from repro.execution import SLICING_ENV_VAR, resolve_slicing
+
+        monkeypatch.setenv(SLICING_ENV_VAR, "off")
+        assert resolve_slicing() is False
+        monkeypatch.setenv(SLICING_ENV_VAR, "on")
+        assert resolve_slicing() is True
+
+    def test_resolve_slicing_rejects_unknown(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.execution import SLICING_ENV_VAR, resolve_slicing
+
+        with pytest.raises(ConfigError, match=r"\(expected on or off\)"):
+            resolve_slicing("fast")
+        monkeypatch.setenv(SLICING_ENV_VAR, "fast")
+        with pytest.raises(ConfigError, match=r"\(expected on or off\)"):
+            resolve_slicing()
+
+    def test_config_slicing_validation_matches_resolver_message(self):
+        from repro.core.config import DrFixConfig
+        from repro.errors import ConfigError
+        from repro.execution import resolve_slicing
+
+        assert DrFixConfig(slicing="off").validated().slicing == "off"
+        with pytest.raises(ConfigError) as config_err:
+            DrFixConfig(slicing="fast").validated()
+        with pytest.raises(ConfigError) as resolver_err:
+            resolve_slicing("fast")
+        assert str(config_err.value) == str(resolver_err.value)
+
+    def test_engine_env_failure_matches_config_message(self, monkeypatch):
+        """DRFIX_ENGINE=warp fails fast with the config-validation wording."""
+        from repro.core.config import DrFixConfig
+        from repro.errors import ConfigError
+        from repro.execution import ENGINE_ENV_VAR, resolve_engine
+
+        with pytest.raises(ConfigError) as config_err:
+            DrFixConfig(engine="warp").validated()
+        monkeypatch.setenv(ENGINE_ENV_VAR, "warp")
+        with pytest.raises(ConfigError) as env_err:
+            resolve_engine()
+        assert str(config_err.value) == str(env_err.value)
+        assert "(expected tree or compiled)" in str(env_err.value)

@@ -115,6 +115,14 @@ class TestHTTP:
         assert status == 200
         assert metrics["cache_hit_rate"] > 0
         assert metrics["served"] == 4
+        # The interpreter's program cache is surfaced alongside the service
+        # counters: running the racy package compiled it at least once.
+        program_cache = metrics["program_cache"]
+        assert set(program_cache) >= {
+            "hits", "misses", "evictions", "singleflight_waits",
+            "full_builds", "derived_builds", "unit_hits", "unit_misses",
+        }
+        assert program_cache["full_builds"] + program_cache["derived_builds"] >= 1
 
     def test_healthz(self, server):
         status, data = _request(server, "GET", "/healthz")
