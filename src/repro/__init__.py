@@ -29,7 +29,7 @@ Quick start::
     print(outcome.fixed, outcome.strategy)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.core.config import DrFixConfig, FixLocation, FixScope
 from repro.core.database import ExampleDatabase

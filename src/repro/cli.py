@@ -31,8 +31,10 @@ from __future__ import annotations
 import argparse
 import copy
 import os
+import signal
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional
@@ -50,7 +52,15 @@ from repro.evaluation.runner import EvaluationRunner, ExperimentContext
 from repro.evaluation.store import RunStore, corpus_fingerprint
 from repro.runtime.compiler import PROGRAM_CACHE
 from repro.runtime.harness import GoFile, GoPackage, run_package_tests
-from repro.service import DrFixService, ServiceHTTPServer, serve_stdio
+from repro.service import (
+    DrFixService,
+    Pidfile,
+    ServiceHTTPServer,
+    ShardedDrFixService,
+    resolve_request_timeout,
+    serve_stdio,
+    stop_daemon,
+)
 
 
 def drfix_version() -> str:
@@ -88,6 +98,18 @@ def positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"expected a positive integer, got {value}")
+    return value
+
+
+def positive_float(text: str) -> float:
+    """Argparse type for durations that must be > 0 (timeouts)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}")
     return value
 
 
@@ -379,7 +401,23 @@ def cmd_version(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run Dr.Fix as a service: JSON over HTTP, or line-delimited JSON stdio."""
+    """Run Dr.Fix as a service: JSON over HTTP, or line-delimited JSON stdio.
+
+    With ``--workers N`` the service is the multi-process
+    :class:`~repro.service.shard.ShardedDrFixService` (supervised worker
+    processes, crash recovery, shared persistent cache); without it, the
+    in-process :class:`DrFixService`.  ``--pidfile`` makes the server a
+    well-behaved daemon (no double start, ``--stop`` to drain it), and
+    SIGTERM always triggers a graceful drain: stop admitting, finish
+    in-flight requests, flush the cache, remove the pidfile.
+    """
+    if args.stop:
+        if not args.pidfile:
+            raise ConfigError("--stop needs --pidfile to locate the daemon")
+        pid = stop_daemon(args.pidfile, timeout_s=args.stop_timeout)
+        print(f"drfix serve: stopped daemon (pid {pid})")
+        return 0
+    request_timeout = resolve_request_timeout(args.request_timeout)
     config = DrFixConfig(model=args.model)
     if args.engine:
         config = config.with_engine(args.engine)
@@ -389,35 +427,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not args.no_rag:
         corpus = CorpusGenerator(CorpusConfig().scaled(args.scale)).generate()
         database = ExampleDatabase.from_cases(corpus.db_examples, config)
-    service = DrFixService(
-        config,
-        database=database,
-        max_queue_depth=args.max_queue,
-        max_in_flight=args.max_in_flight,
-        jobs=args.jobs,
-        executor=args.executor,
-        cache_capacity=args.cache_capacity,
-    )
+    if args.workers is not None:
+        service = ShardedDrFixService(
+            config,
+            database=database,
+            workers=args.workers,
+            shard_queue_depth=args.shard_queue_depth,
+            cache_capacity=args.cache_capacity,
+            cache_dir=args.cache_dir,
+        )
+    else:
+        service = DrFixService(
+            config,
+            database=database,
+            max_queue_depth=args.max_queue,
+            max_in_flight=args.max_in_flight,
+            jobs=args.jobs,
+            executor=args.executor,
+            cache_capacity=args.cache_capacity,
+            cache_dir=args.cache_dir,
+        )
+    pidfile = Pidfile(args.pidfile).acquire() if args.pidfile else None
     try:
         if args.mode == "stdio":
             served = serve_stdio(service, sys.stdin, sys.stdout,
-                                 default_runs=args.runs)
+                                 timeout=request_timeout, default_runs=args.runs)
             print(f"drfix serve: {served} request(s) served; "
                   f"{service.metrics().render()}", file=sys.stderr)
             return 0
         server = ServiceHTTPServer(service, (args.host, args.port),
-                                   verbose=args.verbose, default_runs=args.runs)
+                                   verbose=args.verbose,
+                                   request_timeout=request_timeout,
+                                   default_runs=args.runs)
+
+        def _drain_on_sigterm(signum, frame) -> None:
+            # Graceful drain: stop admitting (healthz turns 503), then stop
+            # the accept loop from another thread (serve_forever must not be
+            # shut down from its own thread).  In-flight requests finish in
+            # service.shutdown() below.
+            service.begin_drain()
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _drain_on_sigterm)
         print(f"drfix serve: listening on http://{args.host}:{server.port} "
-              f"(POST /detect, POST /fix, GET /metrics, GET /healthz)")
+              f"(POST /detect, POST /fix, GET /metrics, GET /healthz)",
+              flush=True)
         try:
             server.serve_forever()
+            print(f"drfix serve: draining; {service.metrics().render()}",
+                  file=sys.stderr)
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
             print(f"\ndrfix serve: {service.metrics().render()}")
         finally:
+            service.shutdown(wait=True)
             server.server_close()
         return 0
     finally:
         service.shutdown(wait=True)
+        if pidfile is not None:
+            pidfile.release()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -542,6 +610,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "negative = all CPUs)")
     serve.add_argument("--executor", choices=["serial", "thread", "process"],
                        default="thread", help="batch execution backend")
+    serve.add_argument("--workers", type=positive_int, default=None,
+                       help="serve from N supervised worker processes sharded "
+                            "by source fingerprint (default: in-process)")
+    serve.add_argument("--shard-queue-depth", type=positive_int, default=16,
+                       help="per-shard queue bound with --workers (default 16); "
+                            "overflow gets a structured 'overloaded' response")
+    serve.add_argument("--request-timeout", type=positive_float, default=None,
+                       help="seconds a frontend waits for one response "
+                            "(default: DRFIX_REQUEST_TIMEOUT or 600)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent result-cache directory: warm hits "
+                            "survive restarts and are shared across workers")
+    serve.add_argument("--pidfile", default=None,
+                       help="acquire this pidfile on start (refuses a double "
+                            "start; removed on exit)")
+    serve.add_argument("--stop", action="store_true",
+                       help="signal the daemon named by --pidfile with SIGTERM "
+                            "and wait for its graceful drain")
+    serve.add_argument("--stop-timeout", type=positive_float, default=30.0,
+                       help="seconds --stop waits for the daemon to exit "
+                            "(default 30)")
     serve.add_argument("--max-queue", type=positive_int, default=64,
                        help="admission-control queue bound (default 64); "
                             "submissions past it get a structured 'overloaded' "

@@ -216,6 +216,23 @@ def _nested_budget_guard(outer_jobs: int) -> Iterator[None]:
             os.environ[NESTED_BUDGET_ENV_VAR] = previous
 
 
+def shard_worker_budget(workers: int) -> int:
+    """Per-worker nested budget for a fleet of long-lived shard workers.
+
+    The sharded service (:mod:`repro.service.shard`) spawns N resident worker
+    *processes* instead of mapping through a pool, so it cannot rely on
+    :func:`_nested_budget_guard`'s scoped export — each worker instead sets
+    ``DRFIX_NESTED_BUDGET`` to this value at startup, putting its inner
+    layers (harness seed runs, batch validation) under the same accounting
+    every :class:`CaseExecutor` honors: N workers × this budget never
+    oversubscribes the machine.
+    """
+    if workers < 1:
+        raise ConfigError("shard worker count must be positive")
+    total = nested_budget() or (os.cpu_count() or 1)
+    return max(1, total // max(1, workers))
+
+
 def stable_seed(*parts: "int | str") -> int:
     """Hash arbitrary parts into a 31-bit seed: the one seed-derivation recipe.
 
@@ -343,5 +360,6 @@ __all__ = [
     "resolve_jobs",
     "resolve_kind",
     "resolve_slicing",
+    "shard_worker_budget",
     "stable_seed",
 ]

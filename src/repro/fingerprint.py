@@ -80,10 +80,27 @@ def corpus_fingerprint(corpus_config: Any) -> str:
     return digest({"corpus": canonical(corpus_config)})
 
 
+def shard_for(fingerprint: str, shards: int) -> int:
+    """Route a fingerprint to one of ``shards`` buckets, stably.
+
+    The sharded service routes requests by *source* fingerprint, so every
+    request for one package lands on the same worker process — that worker's
+    program cache stays hot for the package, and two concurrent requests for
+    the same package serialize on one shard instead of computing twice.
+    Hashing the fingerprint (rather than truncating it) keeps the buckets
+    balanced even if the fingerprint encoding ever becomes non-uniform.
+    """
+    if shards < 1:
+        raise ValueError("shard count must be positive")
+    raw = hashlib.blake2b(fingerprint.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(raw, "big") % shards
+
+
 __all__ = [
     "EXECUTION_ONLY_FIELDS",
     "canonical",
     "config_fingerprint",
     "corpus_fingerprint",
     "digest",
+    "shard_for",
 ]

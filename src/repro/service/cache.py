@@ -1,11 +1,21 @@
-"""Fingerprint-keyed result cache for the serving layer.
+"""Fingerprint-keyed result caches for the serving layer.
 
-A bounded, thread-safe LRU mapping a request's cache key (source fingerprint ×
-config fingerprint × request knobs, see
-:meth:`repro.service.requests.ServiceRequest.cache_key`) to the deterministic
-response payload.  Safe by construction: the differential test proves a served
-payload is bit-identical to a direct invocation, so replaying a stored payload
-for an identical key cannot change any observable result — only its latency.
+:class:`ResultCache` is a bounded, thread-safe in-memory LRU mapping a
+request's cache key (source fingerprint × config fingerprint × request knobs,
+see :meth:`repro.service.requests.ServiceRequest.cache_key`) to the
+deterministic response payload.  Safe by construction: the differential test
+proves a served payload is bit-identical to a direct invocation, so replaying
+a stored payload for an identical key cannot change any observable result —
+only its latency.
+
+:class:`PersistentResultCache` layers the evaluation run store's on-disk JSON
+discipline (:mod:`repro.evaluation.store`) underneath the LRU: every ``put``
+writes through to one versioned JSON file (atomic temp-file + ``os.replace``,
+so concurrent readers never see a torn entry), and a memory miss falls back to
+disk before declaring a true miss.  This is what makes warm hits survive a
+full service restart and lets every shard of the sharded service share one
+warm set — the master probes the cache before routing, so a payload computed
+once is never recomputed by any worker.
 
 Entries are deep-copied on both ``put`` and ``get`` so callers can never
 mutate a cached payload in place (the HTTP frontend, the stdio frontend, and
@@ -15,9 +25,23 @@ programmatic clients all receive private copies).
 from __future__ import annotations
 
 import copy
+import itertools
+import json
+import os
 import threading
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any, Dict, Optional
+
+#: Disambiguates concurrent temp files: the pid alone is not enough (two
+#: threads of one process replacing the same key would collide), so the temp
+#: name folds in a process-wide monotonic counter as well.
+_TMP_COUNTER = itertools.count()
+
+#: Bump when the serialised shape of a persistent entry changes: old files
+#: stop validating and count as misses, the same invalidation discipline as
+#: the run store's ``STORE_VERSION``.
+CACHE_VERSION = 1
 
 
 class ResultCache:
@@ -74,5 +98,123 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "memory_entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
-__all__ = ["ResultCache"]
+
+class PersistentResultCache(ResultCache):
+    """LRU over a shared on-disk store: warm hits survive restarts.
+
+    Layout (two-level fan-out keeps directories small at scale)::
+
+        <root>/<key[:2]>/<key>.json
+
+    Each entry is ``{"version": CACHE_VERSION, "key": key, "payload": …}``.
+    The key already folds in the config fingerprint (the request's cache key
+    is a digest of kind × source-fp × config-fp × knobs), so one directory can
+    be shared by services running different configurations without collisions.
+    Unreadable, mismatched, or stale-version files count as misses and are
+    ignored — a corrupt entry can cost a recomputation, never a wrong answer.
+    """
+
+    def __init__(self, root: "Path | str", capacity: int = 256):
+        super().__init__(capacity)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_writes = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        payload = super().get(key)
+        if payload is not None:
+            return payload
+        data = self._load_disk(key)
+        if data is None:
+            with self._lock:
+                self.disk_misses += 1
+            return None
+        with self._lock:
+            self.disk_hits += 1
+        # Promote to memory without re-writing the file we just read.
+        self._store_memory(key, data)
+        return data
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        super().put(key, payload)
+        self._write_disk(key, payload)
+
+    # ------------------------------------------------------------------
+
+    def _store_memory(self, key: str, payload: Dict[str, Any]) -> None:
+        entry = copy.deepcopy(payload)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def _load_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            data = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(data, dict)
+                or data.get("version") != CACHE_VERSION
+                or data.get("key") != key
+                or not isinstance(data.get("payload"), dict)):
+            return None
+        return data["payload"]
+
+    def _write_disk(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps({"version": CACHE_VERSION, "key": key,
+                           "payload": payload}, sort_keys=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        with self._lock:
+            self.disk_writes += 1
+
+    # ------------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        """Effective hit rate: a disk hit is a hit (it skipped the workers)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return (self.hits + self.disk_hits) / total if total else 0.0
+
+    def entry_count(self) -> int:
+        """Entries on disk (the set that survives a restart)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def flush(self) -> int:
+        """Writes are synchronous (write-through), so flushing is a fence:
+        it reports how many entries the drain leaves durable on disk."""
+        return self.entry_count()
+
+    def stats(self) -> Dict[str, int]:
+        base = super().stats()
+        with self._lock:
+            base.update({
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "disk_writes": self.disk_writes,
+            })
+        return base
+
+
+__all__ = ["CACHE_VERSION", "PersistentResultCache", "ResultCache"]

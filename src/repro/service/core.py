@@ -53,7 +53,7 @@ from repro.errors import ConfigError
 from repro.execution import CaseExecutor, ExecutorKind, resolve_kind
 from repro.fingerprint import config_fingerprint
 from repro.runtime.harness import GoPackage, PackageRunResult, run_package_tests
-from repro.service.cache import ResultCache
+from repro.service.cache import PersistentResultCache, ResultCache
 from repro.service.metrics import MetricsRecorder, ServiceMetrics
 from repro.service.requests import (
     RequestKind,
@@ -292,6 +292,7 @@ class DrFixService:
         jobs: Optional[int] = None,
         executor: "ExecutorKind | str | None" = "thread",
         cache_capacity: int = 256,
+        cache_dir: Optional[str] = None,
         batch_linger_s: float = 0.0,
         start: bool = True,
     ):
@@ -311,7 +312,9 @@ class DrFixService:
         self.executor_kind = executor
         self.batch_linger_s = batch_linger_s
         self.config_fp = config_fingerprint(self.config)
-        self.cache = ResultCache(cache_capacity)
+        self.cache: ResultCache = (
+            PersistentResultCache(cache_dir, cache_capacity) if cache_dir
+            else ResultCache(cache_capacity))
         self.recorder = MetricsRecorder()
         self._cond = threading.Condition()
         self._pending: "deque[_Pending]" = deque()
@@ -338,6 +341,14 @@ class DrFixService:
                 target=self._scheduler_loop, name="drfix-service-scheduler", daemon=True
             )
             self._thread.start()
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; the scheduler keeps serving admitted
+        ones.  The graceful half of :meth:`shutdown` — ``drfix serve`` calls
+        this from its SIGTERM handler before waiting out the in-flight work."""
+        with self._cond:
+            self._accepting = False
+            self._cond.notify_all()
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop admitting; the scheduler drains already-admitted requests.
@@ -419,6 +430,21 @@ class DrFixService:
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._pending)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` body (same shape as the sharded service's,
+        minus the per-worker blocks — the in-process service has none)."""
+        with self._cond:
+            draining = not self._accepting
+            depth, in_flight = len(self._pending), self._in_flight
+        return {
+            "status": "draining" if draining else "ok",
+            "workers": [],
+            "broken_shards": 0,
+            "queue_depth": depth,
+            "in_flight": in_flight,
+            "cache_entries": len(self.cache),
+        }
 
     # -- the batch scheduler -------------------------------------------
 

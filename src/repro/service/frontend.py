@@ -23,6 +23,7 @@ Two transports, zero dependencies:
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, IO, Optional, Tuple
@@ -33,8 +34,35 @@ from repro.service.requests import ResponseStatus, request_from_payload
 
 #: Ceiling on one request body; a serving layer must bound what it buffers.
 MAX_BODY_BYTES = 8 * 1024 * 1024
-#: How long a frontend waits for the service to answer one request.
+#: How long a frontend waits for the service to answer one request (default;
+#: override with ``--request-timeout`` or the environment variable below).
 REQUEST_TIMEOUT_S = 600.0
+#: Environment override for the frontend request timeout, in seconds.
+REQUEST_TIMEOUT_ENV_VAR = "DRFIX_REQUEST_TIMEOUT"
+
+
+def resolve_request_timeout(explicit: Optional[float] = None) -> float:
+    """The frontend request timeout: explicit flag > environment > default.
+
+    Fails fast with :class:`ConfigError` on a malformed or non-positive
+    value — a serving process must not come up with a timeout it will never
+    honor.
+    """
+    if explicit is not None:
+        value = explicit
+    else:
+        raw = os.environ.get(REQUEST_TIMEOUT_ENV_VAR, "").strip()
+        if not raw:
+            return REQUEST_TIMEOUT_S
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{REQUEST_TIMEOUT_ENV_VAR} must be a number of seconds, "
+                f"got {raw!r}")
+    if not value > 0:
+        raise ConfigError(f"request timeout must be positive, got {value}")
+    return value
 
 
 def _status_code(status: ResponseStatus) -> int:
@@ -93,11 +121,11 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/metrics":
             self._write_json(200, service.metrics().as_dict())
         elif self.path == "/healthz":
-            self._write_json(200, {
-                "status": "ok",
-                "queue_depth": service.queue_depth(),
-                "cache_entries": len(service.cache),
-            })
+            health = service.health()
+            # A draining server is alive but no longer admits work: 503 tells
+            # a load balancer to stop routing here while the drain finishes.
+            code = 503 if health.get("status") == "draining" else 200
+            self._write_json(code, health)
         else:
             self._write_json(404, {"error": f"no such endpoint: {self.path}"})
 
@@ -135,11 +163,15 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threaded HTTP frontend bound to one :class:`DrFixService`.
+    """A threaded HTTP frontend bound to one service.
 
-    Threaded so that slow cold requests never head-of-line-block the
-    ``/metrics`` and ``/healthz`` probes; actual work still funnels through
-    the service's bounded queue, so concurrency stays admission-controlled.
+    ``service`` is either the in-process :class:`DrFixService` or the
+    multi-process :class:`~repro.service.shard.ShardedDrFixService` — the two
+    share the submit/call/metrics/health protocol, so the frontend is
+    transport only.  Threaded so that slow cold requests never
+    head-of-line-block the ``/metrics`` and ``/healthz`` probes; actual work
+    still funnels through the service's bounded queues, so concurrency stays
+    admission-controlled.
     """
 
     daemon_threads = True
@@ -216,7 +248,10 @@ def serve_stdio(service: DrFixService, stdin: IO[str], stdout: IO[str],
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "REQUEST_TIMEOUT_ENV_VAR",
+    "REQUEST_TIMEOUT_S",
     "ServiceHTTPServer",
     "handle_stdio_line",
+    "resolve_request_timeout",
     "serve_stdio",
 ]

@@ -53,6 +53,9 @@ class ServiceMetrics:
     #: misses, single-flight waits, full vs derived builds, per-function unit
     #: reuse) — :meth:`repro.runtime.compiler.ProgramCache.stats`.
     program_cache: Dict[str, int] = field(default_factory=dict)
+    #: Sharded-service supervision counters (restarts, retries, breaker trips,
+    #: per-shard queue depth) — empty for the in-process service.
+    supervisor: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -81,6 +84,7 @@ class ServiceMetrics:
             "throughput_rps": round(self.throughput_rps, 3),
             "uptime_seconds": round(self.uptime_seconds, 3),
             "program_cache": dict(self.program_cache),
+            "supervisor": dict(self.supervisor),
         }
 
     def render(self) -> str:

@@ -1,0 +1,152 @@
+"""Pidfile locking and daemon signalling for ``drfix serve``.
+
+A long-running serve daemon needs three small operational guarantees:
+
+* **no double start** — acquiring the pidfile is an atomic
+  ``O_CREAT | O_EXCL`` create; a second ``drfix serve`` against the same
+  pidfile fails fast with a :class:`ConfigError` naming the live pid;
+* **stale-pidfile detection** — a pidfile whose recorded pid is no longer
+  alive (machine rebooted, daemon SIGKILLed) is removed and re-acquired
+  instead of wedging every future start;
+* **cooperative stop** — ``drfix serve --stop`` reads the pidfile, sends
+  SIGTERM (the daemon's graceful-drain signal), and waits for the process to
+  exit and the pidfile to disappear.
+
+The pidfile content is the daemon's pid in ASCII plus a newline — readable by
+``kill $(cat drfix.pid)`` as well as by :func:`stop_daemon`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we could signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive but not ours
+        return True
+    return True
+
+
+def read_pid(path: "Path | str") -> Optional[int]:
+    """The pid recorded in ``path``, or ``None`` when absent/garbled."""
+    try:
+        text = Path(path).read_text().strip()
+    except OSError:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return None
+
+
+class Pidfile:
+    """An exclusive pidfile held for the lifetime of one serve daemon.
+
+    Usable as a context manager::
+
+        with Pidfile(path):
+            run_the_server()
+    """
+
+    def __init__(self, path: "Path | str"):
+        self.path = Path(path)
+        self._acquired = False
+
+    # ------------------------------------------------------------------
+
+    def acquire(self) -> "Pidfile":
+        """Atomically create the pidfile, breaking a stale one if needed."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for attempt in range(2):
+            try:
+                fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                holder = read_pid(self.path)
+                if holder is not None and pid_alive(holder):
+                    raise ConfigError(
+                        f"drfix serve already running (pid {holder}, "
+                        f"pidfile {self.path}); use --stop to stop it")
+                if attempt:  # pragma: no cover - lost a create race twice
+                    raise ConfigError(
+                        f"could not acquire pidfile {self.path}")
+                # Stale: the recorded process is gone.  Remove and retry the
+                # exclusive create (a concurrent starter may win the retry —
+                # then the second pass sees a *live* holder and errors out).
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"{os.getpid()}\n")
+            self._acquired = True
+            return self
+        raise ConfigError(f"could not acquire pidfile {self.path}")  # pragma: no cover
+
+    def release(self) -> None:
+        """Remove the pidfile iff this process still owns it."""
+        if not self._acquired:
+            return
+        self._acquired = False
+        if read_pid(self.path) == os.getpid():
+            try:
+                self.path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Pidfile":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def stop_daemon(path: "Path | str", timeout_s: float = 30.0,
+                poll_interval_s: float = 0.05) -> int:
+    """Signal the daemon recorded in ``path`` with SIGTERM and wait it out.
+
+    Returns the pid that was stopped.  Raises :class:`ConfigError` when no
+    daemon is running (missing/stale pidfile) or when it ignores the signal
+    past ``timeout_s`` — the caller decides whether to escalate.
+    """
+    pidfile = Path(path)
+    pid = read_pid(pidfile)
+    if pid is None:
+        raise ConfigError(f"no pidfile at {pidfile}: is the daemon running?")
+    if not pid_alive(pid):
+        # Stale: clean it up so the next start does not have to.
+        try:
+            pidfile.unlink()
+        except OSError:
+            pass
+        raise ConfigError(
+            f"pidfile {pidfile} is stale (pid {pid} is gone); removed it")
+    os.kill(pid, 15)  # SIGTERM: the daemon's graceful-drain signal
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        # The daemon removes its pidfile as the last step of a clean drain,
+        # so a vanished (or re-owned) pidfile is success even while the pid
+        # still shows as alive — an exited-but-unreaped child is a zombie,
+        # and ``kill(pid, 0)`` succeeds on zombies.
+        if read_pid(pidfile) != pid or not pid_alive(pid):
+            return pid
+        time.sleep(poll_interval_s)
+    raise ConfigError(
+        f"daemon (pid {pid}) did not exit within {timeout_s} s of SIGTERM")
+
+
+__all__ = ["Pidfile", "pid_alive", "read_pid", "stop_daemon"]

@@ -1,0 +1,394 @@
+"""Unit and integration tests for the sharded service's supporting pieces:
+
+routing, the persistent result cache (restart survival, corruption
+tolerance), worker-budget accounting, health/metrics shapes, pidfile
+discipline, and the frontend's configurable request timeout.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.core.config import DrFixConfig
+from repro.errors import ConfigError
+from repro.execution import NESTED_BUDGET_ENV_VAR, shard_worker_budget
+from repro.fingerprint import shard_for
+from repro.runtime.harness import GoFile, GoPackage
+from repro.service import (
+    CACHE_VERSION,
+    DetectRequest,
+    DrFixService,
+    PersistentResultCache,
+    Pidfile,
+    ResultCache,
+    ShardedDrFixService,
+    resolve_request_timeout,
+    stop_daemon,
+)
+from repro.service.frontend import REQUEST_TIMEOUT_ENV_VAR, REQUEST_TIMEOUT_S
+from repro.service.pidfile import pid_alive, read_pid
+
+RACY_SOURCE = """
+package main
+
+var total int
+
+func add() {
+	total = total + 1
+}
+
+func TestRace(t *T) {
+	go add()
+	go add()
+}
+"""
+
+
+def make_package(tag: int) -> GoPackage:
+    source = RACY_SOURCE.replace("total", f"total{tag}")
+    return GoPackage(name=f"pkg{tag}", files=[GoFile("main.go", source)])
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+
+class TestShardRouting:
+    def test_routing_is_stable_and_in_range(self):
+        for tag in range(32):
+            fp = DetectRequest(package=make_package(tag)).source_fingerprint()
+            for shards in (1, 2, 3, 8):
+                bucket = shard_for(fp, shards)
+                assert 0 <= bucket < shards
+                assert bucket == shard_for(fp, shards)
+
+    def test_routing_spreads_distinct_packages(self):
+        buckets = {
+            shard_for(DetectRequest(package=make_package(tag)).source_fingerprint(), 4)
+            for tag in range(64)
+        }
+        assert buckets == {0, 1, 2, 3}
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_for("abc", 0)
+
+    def test_same_package_always_lands_on_one_worker(self):
+        package = make_package(7)
+        service = ShardedDrFixService(workers=2, heartbeat_interval_s=0.02)
+        try:
+            for seed in (1, 2, 3):
+                response = service.call(
+                    DetectRequest(package=package, runs=2, seed=seed), timeout=60)
+                assert response.ok
+            served = [w["served"] for w in service.worker_status()]
+            assert sorted(served) == [0, 3]
+        finally:
+            service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Worker budget
+# ---------------------------------------------------------------------------
+
+
+class TestShardWorkerBudget:
+    def test_divides_the_nested_budget(self, monkeypatch):
+        monkeypatch.setenv(NESTED_BUDGET_ENV_VAR, "8")
+        assert shard_worker_budget(2) == 4
+        assert shard_worker_budget(3) == 2
+        assert shard_worker_budget(16) == 1  # floor at one
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(NESTED_BUDGET_ENV_VAR, raising=False)
+        assert shard_worker_budget(1) == max(1, os.cpu_count() or 1)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigError):
+            shard_worker_budget(0)
+
+    def test_service_exports_budget_to_workers(self, monkeypatch):
+        monkeypatch.setenv(NESTED_BUDGET_ENV_VAR, "4")
+        service = ShardedDrFixService(workers=2, heartbeat_interval_s=0.02)
+        try:
+            assert service.nested_budget == 2
+            assert service.supervisor_stats()["nested_budget"] == 2
+        finally:
+            service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Persistent cache
+# ---------------------------------------------------------------------------
+
+
+class TestPersistentResultCache:
+    def test_round_trip_and_restart_survival(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "cache", capacity=4)
+        cache.put("abcd", {"x": [1, 2], "y": "z"})
+        assert cache.get("abcd") == {"x": [1, 2], "y": "z"}
+        # A fresh instance over the same root (a "restarted" service) hits.
+        reborn = PersistentResultCache(tmp_path / "cache", capacity=4)
+        assert reborn.get("abcd") == {"x": [1, 2], "y": "z"}
+        assert reborn.disk_hits == 1
+        # ...and the hit was promoted to memory: no second disk read needed.
+        assert reborn.get("abcd") == {"x": [1, 2], "y": "z"}
+        assert reborn.disk_hits == 1
+        assert reborn.hits == 1
+
+    def test_eviction_only_trims_memory_not_disk(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "cache", capacity=2)
+        for index in range(5):
+            cache.put(f"key{index}", {"value": index})
+        assert len(cache) == 2                # LRU bound holds in memory
+        assert cache.entry_count() == 5       # every entry is durable
+        assert cache.get("key0") == {"value": 0}  # served from disk
+
+    def test_corrupt_and_stale_files_count_as_misses(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = PersistentResultCache(root, capacity=4)
+        cache.put("goodkey", {"ok": True})
+        path = root / "go" / "goodkey.json"
+        assert path.exists()
+        path.write_text("{not json")
+        fresh = PersistentResultCache(root, capacity=4)
+        assert fresh.get("goodkey") is None
+        path.write_text(json.dumps({
+            "version": CACHE_VERSION + 1, "key": "goodkey", "payload": {"ok": True}}))
+        assert fresh.get("goodkey") is None
+        path.write_text(json.dumps({
+            "version": CACHE_VERSION, "key": "otherkey", "payload": {"ok": True}}))
+        assert fresh.get("goodkey") is None
+        assert fresh.disk_misses == 3
+
+    def test_hit_rate_counts_disk_hits(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "cache", capacity=4)
+        cache.put("k", {"v": 1})
+        reborn = PersistentResultCache(tmp_path / "cache", capacity=4)
+        assert reborn.get("k") is not None
+        assert reborn.get("missing") is None
+        assert reborn.hit_rate() == pytest.approx(0.5)
+        stats = reborn.stats()
+        assert stats["disk_hits"] == 1 and stats["disk_misses"] == 1
+
+    def test_concurrent_writers_never_tear_an_entry(self, tmp_path):
+        cache = PersistentResultCache(tmp_path / "cache", capacity=32)
+        errors = []
+
+        def writer(worker):
+            try:
+                for index in range(20):
+                    cache.put("shared", {"worker": worker, "index": index})
+                    loaded = PersistentResultCache(tmp_path / "cache").get("shared")
+                    assert loaded is not None and set(loaded) == {"worker", "index"}
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_in_process_service_accepts_cache_dir(self, tmp_path):
+        package = make_package(3)
+        with DrFixService(cache_dir=str(tmp_path / "cache")) as service:
+            cold = service.call(DetectRequest(package=package, runs=2), timeout=60)
+            assert cold.ok and not cold.cached
+        with DrFixService(cache_dir=str(tmp_path / "cache")) as reborn:
+            warm = reborn.call(DetectRequest(package=package, runs=2), timeout=60)
+            assert warm.ok and warm.cached
+            assert warm.payload == cold.payload
+
+    def test_sharded_warm_hits_survive_a_full_restart(self, tmp_path):
+        package = make_package(5)
+        request = DetectRequest(package=package, runs=2, seed=1)
+        first = ShardedDrFixService(workers=2, cache_dir=str(tmp_path / "cache"),
+                                    heartbeat_interval_s=0.02)
+        try:
+            cold = first.call(request, timeout=60)
+            assert cold.ok and not cold.cached
+        finally:
+            first.shutdown()
+        second = ShardedDrFixService(workers=2, cache_dir=str(tmp_path / "cache"),
+                                     heartbeat_interval_s=0.02)
+        try:
+            warm = second.call(request, timeout=60)
+            assert warm.ok and warm.cached
+            assert warm.payload == cold.payload
+            # The hit never touched a worker.
+            assert all(w["served"] == 0 for w in second.worker_status())
+        finally:
+            second.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Health and metrics shapes
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_sharded_health_reports_every_worker(self):
+        service = ShardedDrFixService(workers=3, heartbeat_interval_s=0.02)
+        try:
+            health = service.health()
+            assert health["status"] == "ok"
+            assert len(health["workers"]) == 3
+            for block in health["workers"]:
+                assert {"shard", "pid", "state", "incarnation", "served",
+                        "restarts", "last_heartbeat_age_s",
+                        "queue_depth"} <= set(block)
+                assert block["state"] == "ready"
+                assert isinstance(block["pid"], int)
+        finally:
+            service.shutdown()
+
+    def test_sharded_metrics_include_supervisor_counters(self):
+        service = ShardedDrFixService(workers=2, heartbeat_interval_s=0.02)
+        try:
+            response = service.call(
+                DetectRequest(package=make_package(1), runs=2), timeout=60)
+            assert response.ok
+            rendered = service.metrics().as_dict()
+            supervisor = rendered["supervisor"]
+            assert supervisor["workers"] == 2
+            assert supervisor["restarts"] == 0
+            assert supervisor["retries"] == 0
+            assert supervisor["drops"] == 0
+            assert len(supervisor["shards"]) == 2
+            assert {s["shard"] for s in supervisor["shards"]} == {0, 1}
+            assert rendered["served"] == 1
+        finally:
+            service.shutdown()
+
+    def test_in_process_health_has_the_same_shape(self):
+        with DrFixService() as service:
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["workers"] == []
+        assert service.health()["status"] == "draining"
+
+
+# ---------------------------------------------------------------------------
+# Pidfile discipline
+# ---------------------------------------------------------------------------
+
+
+class TestPidfile:
+    def test_acquire_release_cycle(self, tmp_path):
+        path = tmp_path / "drfix.pid"
+        with Pidfile(path):
+            assert read_pid(path) == os.getpid()
+        assert not path.exists()
+
+    def test_double_acquire_refused_while_holder_lives(self, tmp_path):
+        path = tmp_path / "drfix.pid"
+        with Pidfile(path):
+            with pytest.raises(ConfigError, match="already running"):
+                Pidfile(path).acquire()
+
+    def test_stale_pidfile_is_broken_and_reacquired(self, tmp_path):
+        path = tmp_path / "drfix.pid"
+        path.write_text("999999999\n")  # far past any real pid
+        with Pidfile(path):
+            assert read_pid(path) == os.getpid()
+
+    def test_garbled_pidfile_is_treated_as_stale(self, tmp_path):
+        path = tmp_path / "drfix.pid"
+        path.write_text("not-a-pid\n")
+        with Pidfile(path):
+            assert read_pid(path) == os.getpid()
+
+    def test_release_does_not_remove_a_reowned_pidfile(self, tmp_path):
+        path = tmp_path / "drfix.pid"
+        pidfile = Pidfile(path).acquire()
+        path.write_text("424242\n")  # another process took it over
+        pidfile.release()
+        assert path.exists()
+
+    def test_stop_daemon_errors_without_a_pidfile(self, tmp_path):
+        with pytest.raises(ConfigError, match="no pidfile"):
+            stop_daemon(tmp_path / "missing.pid")
+
+    def test_stop_daemon_cleans_a_stale_pidfile(self, tmp_path):
+        path = tmp_path / "drfix.pid"
+        path.write_text("999999999\n")
+        with pytest.raises(ConfigError, match="stale"):
+            stop_daemon(path)
+        assert not path.exists()
+
+    def test_pid_alive_basics(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(-1)
+        assert not pid_alive(999999999)
+
+
+# ---------------------------------------------------------------------------
+# Request-timeout configuration
+# ---------------------------------------------------------------------------
+
+
+class TestRequestTimeout:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(REQUEST_TIMEOUT_ENV_VAR, raising=False)
+        assert resolve_request_timeout() == REQUEST_TIMEOUT_S
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(REQUEST_TIMEOUT_ENV_VAR, "42.5")
+        assert resolve_request_timeout() == 42.5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(REQUEST_TIMEOUT_ENV_VAR, "42.5")
+        assert resolve_request_timeout(7.0) == 7.0
+
+    @pytest.mark.parametrize("raw", ["zero", "-3", "0"])
+    def test_bad_values_fail_fast(self, monkeypatch, raw):
+        monkeypatch.setenv(REQUEST_TIMEOUT_ENV_VAR, raw)
+        with pytest.raises(ConfigError):
+            resolve_request_timeout()
+
+    def test_explicit_nonpositive_fails(self):
+        with pytest.raises(ConfigError):
+            resolve_request_timeout(0.0)
+
+    def test_cli_rejects_nonpositive_request_timeout(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--request-timeout", "-1"])
+        assert "positive" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Construction validation
+# ---------------------------------------------------------------------------
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0},
+        {"shard_queue_depth": 0},
+        {"max_retries": -1},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ShardedDrFixService(start=False, **kwargs)
+
+    def test_cache_capacity_still_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_config_fingerprint_matches_in_process_service(self):
+        config = DrFixConfig(model="gpt-4o")
+        sharded = ShardedDrFixService(config, start=False)
+        in_process = DrFixService(config, start=False)
+        try:
+            # Same keying discipline: a payload cached by one service form is
+            # a warm hit for the other against a shared --cache-dir.
+            assert sharded.config_fp == in_process.config_fp
+        finally:
+            in_process.shutdown()
