@@ -38,6 +38,7 @@ def run_outcome(
     policies: Sequence[SchedulerPolicy] = ALL_POLICIES,
     runs: int = 5,
     slicing: "bool | str | None" = None,
+    dedup: "bool | str | None" = None,
 ) -> Dict[str, object]:
     """One package's full observable outcome for an equivalence comparison.
 
@@ -49,7 +50,7 @@ def run_outcome(
     """
     result = run_package_tests(
         package, runs=runs, seed=seed, engine=engine, policies=policies,
-        slicing=slicing,
+        slicing=slicing, dedup=dedup,
     )
     return {
         "reports": [report.render() for report in result.reports],
@@ -68,6 +69,8 @@ def detection_outcome(
     policies: Sequence[SchedulerPolicy] = ALL_POLICIES,
     runs: int = 5,
     slicing: "bool | str | None" = None,
+    dedup: "bool | str | None" = None,
+    saturation_after: int = 0,
 ) -> Dict[str, object]:
     """One package's detection-level outcome for the slicing ON/OFF suite.
 
@@ -85,7 +88,7 @@ def detection_outcome(
     """
     result = run_package_tests(
         package, runs=runs, seed=seed, engine=engine, policies=policies,
-        slicing=slicing,
+        slicing=slicing, dedup=dedup, saturation_after=saturation_after,
     )
     return {
         "raced": bool(result.reports),

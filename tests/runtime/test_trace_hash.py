@@ -1,0 +1,245 @@
+"""Unit tests for the HB-trace schedule-class hash itself.
+
+The hash is a Mazurkiewicz-trace digest (see
+:class:`repro.runtime.race_detector.RaceDetector`): every sync event is
+appended order-sensitively to the rolling chain of each participant it
+touches, and the class hash combines the per-chain hashes commutatively.
+These tests pin the three properties the dedup layer depends on:
+
+* **commutation** — interleavings that merely swap *independent* events
+  (disjoint goroutines, disjoint sync objects) hash to the same class;
+* **order sensitivity** — reordering two events on the *same* chain (the
+  reorderings that change happens-before) changes the class;
+* **process stability** — the hash is pure FNV-1a arithmetic, byte-identical
+  across processes whatever ``PYTHONHASHSEED`` they inherit.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.runtime.race_detector import _FNV_OFFSET, RaceDetector
+from repro.runtime.vector_clock import SyncVar
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _detector_with_forks() -> RaceDetector:
+    detector = RaceDetector()
+    detector.register_goroutine(0)
+    detector.on_fork(0, 1)
+    detector.on_fork(0, 2)
+    return detector
+
+
+class TestCommutingPermutations:
+    def test_independent_sync_events_commute(self):
+        """Swapping releases by disjoint goroutines on disjoint sync objects
+        leaves the class hash unchanged — the two interleavings established
+        the same happens-before structure."""
+        a = _detector_with_forks()
+        a._trace_sync(3, 1, 10)
+        a._trace_sync(3, 2, 20)
+
+        b = _detector_with_forks()
+        b._trace_sync(3, 2, 20)
+        b._trace_sync(3, 1, 10)
+
+        assert a.schedule_class_hash == b.schedule_class_hash
+
+    def test_independent_goroutine_runs_commute_via_public_api(self):
+        """Same property through on_release/on_acquire with real sync vars.
+
+        Sync ids are numbered by first appearance, so both detectors pin the
+        objects in allocation order first (as a real program does — sync
+        objects are created in program order, before the goroutines that use
+        them race ahead of one another)."""
+        lock_a, lock_b = SyncVar(), SyncVar()
+
+        first = _detector_with_forks()
+        first._sync_id(lock_a), first._sync_id(lock_b)
+        first.on_release(1, lock_a)
+        first.on_acquire(1, lock_a)
+        first.on_release(2, lock_b)
+        first.on_acquire(2, lock_b)
+
+        second = _detector_with_forks()
+        second._sync_id(lock_a), second._sync_id(lock_b)
+        second.on_release(2, lock_b)
+        second.on_acquire(2, lock_b)
+        second.on_release(1, lock_a)
+        second.on_acquire(1, lock_a)
+
+        assert first.schedule_class_hash == second.schedule_class_hash
+
+    def test_interleaved_but_chain_equal_orders_commute(self):
+        """A full interleaving permutation that preserves every per-chain
+        order (t1's events stay ordered, t2's events stay ordered, the two
+        never share a chain) is the same class."""
+        a = _detector_with_forks()
+        for event in [(1, 10), (1, 10), (2, 20), (2, 20)]:
+            a._trace_sync(3, *event)
+        b = _detector_with_forks()
+        for event in [(1, 10), (2, 20), (1, 10), (2, 20)]:
+            b._trace_sync(3, *event)
+        assert a.schedule_class_hash == b.schedule_class_hash
+
+
+class TestOrderSensitivity:
+    def test_reordered_events_on_shared_sync_differ(self):
+        """Two goroutines releasing the *same* sync object in opposite orders
+        are different happens-before structures — different classes."""
+        a = _detector_with_forks()
+        a._trace_sync(3, 1, 10)
+        a._trace_sync(3, 2, 10)
+
+        b = _detector_with_forks()
+        b._trace_sync(3, 2, 10)
+        b._trace_sync(3, 1, 10)
+
+        assert a.schedule_class_hash != b.schedule_class_hash
+
+    def test_reordered_events_on_same_goroutine_differ(self):
+        """One goroutine touching two sync objects in opposite orders reorders
+        its own chain — different classes."""
+        a = _detector_with_forks()
+        a._trace_sync(3, 1, 10)
+        a._trace_sync(3, 1, 20)
+
+        b = _detector_with_forks()
+        b._trace_sync(3, 1, 20)
+        b._trace_sync(3, 1, 10)
+
+        assert a.schedule_class_hash != b.schedule_class_hash
+
+    def test_release_and_acquire_are_distinct_events(self):
+        a = _detector_with_forks()
+        a._trace_sync(3, 1, 10)
+        b = _detector_with_forks()
+        b._trace_sync(4, 1, 10)
+        assert a.schedule_class_hash != b.schedule_class_hash
+
+    def test_thread_and_sync_chains_do_not_collide(self):
+        """Chain tags keep a thread chain and a sync chain with the same
+        numeric key from contributing identically."""
+        a = RaceDetector()
+        a._fold_chain(a._thread_chains, 5, 1, 3, 1, 1)
+        b = RaceDetector()
+        b._fold_chain(b._sync_chains, 6, 1, 3, 1, 1)
+        assert a._combined_hash != b._combined_hash
+
+
+class TestPrefixHashes:
+    def test_prefixes_snapshot_at_power_of_two_depths(self):
+        detector = _detector_with_forks()  # 2 events so far
+        for _ in range(6):
+            detector._trace_sync(3, 1, 10)  # 8 events total
+        assert len(detector.prefix_hashes) == 4  # depths 1, 2, 4, 8
+        assert len(set(detector.prefix_hashes)) == 4
+
+    def test_reset_restores_empty_state(self):
+        detector = _detector_with_forks()
+        detector._trace_sync(3, 1, 10)
+        assert detector.schedule_class_hash != _FNV_OFFSET
+        detector._trace_access(9, 1, 0xC000000010)
+        detector.reset()
+        assert detector.schedule_class_hash == _FNV_OFFSET
+        assert detector.prefix_hashes == ()
+        assert detector._event_count == 0
+        assert detector._thread_chains == {}
+        assert detector._sync_chains == {}
+        assert detector._var_chains == {}
+        assert detector._var_ids == {}
+
+
+class TestAccessChains:
+    """Plain accesses are part of the dependence alphabet: per-cell order is
+    class-relevant (it decides which pairs FastTrack reports), cross-cell
+    order is not."""
+
+    def test_accesses_to_distinct_cells_commute(self):
+        a = _detector_with_forks()
+        a._trace_access(10, 1, 0xA0)
+        a._trace_access(10, 2, 0xB0)
+        b = _detector_with_forks()
+        b._trace_access(10, 2, 0xB0)
+        b._trace_access(10, 1, 0xA0)
+        # Cells are numbered by first appearance, so pin the order first.
+        c = _detector_with_forks()
+        c._var_ids[0xA0] = 0
+        c._var_ids[0xB0] = 1
+        c._trace_access(10, 2, 0xB0)
+        c._trace_access(10, 1, 0xA0)
+        d = _detector_with_forks()
+        d._var_ids[0xA0] = 0
+        d._var_ids[0xB0] = 1
+        d._trace_access(10, 1, 0xA0)
+        d._trace_access(10, 2, 0xB0)
+        assert c.schedule_class_hash == d.schedule_class_hash
+
+    def test_conflicting_access_reorder_changes_the_class(self):
+        a = _detector_with_forks()
+        a._trace_access(10, 1, 0xA0)
+        a._trace_access(9, 2, 0xA0)
+        b = _detector_with_forks()
+        b._trace_access(9, 2, 0xA0)
+        b._trace_access(10, 1, 0xA0)
+        assert a.schedule_class_hash != b.schedule_class_hash
+
+    def test_read_and_write_are_distinct_access_events(self):
+        a = _detector_with_forks()
+        a._trace_access(9, 1, 0xA0)
+        b = _detector_with_forks()
+        b._trace_access(10, 1, 0xA0)
+        assert a.schedule_class_hash != b.schedule_class_hash
+
+    def test_cell_numbering_is_by_first_access(self):
+        """Two runs of the same interleaving see different raw addresses
+        (the allocator counter is process-global); appearance-order ids make
+        them hash identically anyway."""
+        a = _detector_with_forks()
+        a._trace_access(10, 1, 0xC000000000)
+        a._trace_access(9, 2, 0xC000000000)
+        b = _detector_with_forks()
+        b._trace_access(10, 1, 0xC000005550)
+        b._trace_access(9, 2, 0xC000005550)
+        assert a.schedule_class_hash == b.schedule_class_hash
+
+
+_REPLAY_SCRIPT = """
+from repro.runtime.race_detector import RaceDetector
+
+detector = RaceDetector()
+detector.register_goroutine(0)
+detector.on_fork(0, 1)
+detector.on_fork(0, 2)
+for kind, tid, sid in [(3, 1, 0), (4, 2, 0), (3, 2, 1), (4, 1, 1), (3, 1, 0)]:
+    detector._trace_sync(kind, tid, sid)
+detector.on_join(0, 1)
+detector.on_join(0, 2)
+print(detector.schedule_class_hash)
+print(",".join(str(p) for p in detector.prefix_hashes))
+"""
+
+
+class TestProcessStability:
+    def test_hash_is_identical_across_hash_seeds(self):
+        """The digest is FNV-1a arithmetic, not ``hash()`` — two processes
+        with different ``PYTHONHASHSEED`` values produce byte-identical
+        class and prefix hashes for the same event sequence."""
+        outputs = []
+        for hash_seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", _REPLAY_SCRIPT],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": SRC, "PYTHONHASHSEED": hash_seed},
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        class_hash, prefixes = outputs[0].splitlines()
+        assert int(class_hash) != _FNV_OFFSET
+        assert prefixes  # snapshots were taken
